@@ -1,0 +1,110 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+workload scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``small`` (default) — shrunken traces so the whole harness finishes in a few
+  minutes on a laptop CPU; the *shape* of every result is preserved.
+* ``paper`` — the paper's full Table 1 parameters (20 users x 50 posts,
+  60 credit users); slower, for a faithful regeneration.
+
+Benchmarks print the rows / series they reproduce (run pytest with ``-s`` to
+see them) and attach the same data to ``benchmark.extra_info`` so the JSON
+output of pytest-benchmark carries the results.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.workloads.registry import get_workload
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+PAPER_SCALE = SCALE == "paper"
+
+
+def post_recommendation_trace(seed: int = 0):
+    """The post-recommendation trace at the configured scale."""
+    if PAPER_SCALE:
+        return get_workload("post-recommendation", seed=seed)
+    return get_workload("post-recommendation", num_users=6, posts_per_user=12, seed=seed)
+
+
+def credit_verification_trace(seed: int = 0):
+    """The credit-verification trace at the configured scale."""
+    if PAPER_SCALE:
+        return get_workload("credit-verification", seed=seed)
+    return get_workload("credit-verification", num_users=10, seed=seed)
+
+
+def qps_multipliers() -> tuple[float, ...]:
+    """Offered-load multipliers of the base throughput (fewer points when small)."""
+    if PAPER_SCALE:
+        return (0.25, 0.5, 1.0, 2.0, 3.0, 4.0)
+    return (0.5, 1.0, 2.0, 4.0)
+
+
+def hardware_setups_for_figures() -> list[str]:
+    """Hardware setups swept by Figures 6 and 7."""
+    if PAPER_SCALE:
+        return ["l4", "a100", "h100", "h100-nvlink"]
+    return ["l4", "h100"]
+
+
+def show(title: str, rows: list[dict], *, columns: list[str] | None = None) -> None:
+    """Print one reproduced table/figure."""
+    print()
+    print(format_table(rows, columns=columns, title=title))
+
+
+@pytest.fixture(scope="session")
+def post_trace():
+    return post_recommendation_trace()
+
+
+@pytest.fixture(scope="session")
+def credit_trace():
+    return credit_verification_trace()
+
+
+_SWEEP_GRID_CACHE: dict | None = None
+
+
+def compute_sweep_grid() -> dict:
+    """Run the full Figure 6/7 grid once per session and cache the points.
+
+    The grid covers every engine on every configured hardware setup and both
+    workloads, over the offered-QPS multipliers of the paper (anchored at
+    PrefillOnly's burst throughput on that setup/workload).  Figures 6 and 7
+    plot the same runs (mean vs P99 latency), so they share this cache.
+    """
+    global _SWEEP_GRID_CACHE
+    if _SWEEP_GRID_CACHE is not None:
+        return _SWEEP_GRID_CACHE
+
+    from repro.analysis.sweep import base_throughput, compare_engines, paper_qps_points
+    from repro.baselines.registry import all_engine_specs
+    from repro.core.engine import prefillonly_engine_spec
+    from repro.hardware.cluster import get_hardware_setup
+
+    grid: dict = {}
+    traces = {
+        "post-recommendation": post_recommendation_trace(),
+        "credit-verification": credit_verification_trace(),
+    }
+    for setup_name in hardware_setups_for_figures():
+        setup = get_hardware_setup(setup_name)
+        for workload_name, trace in traces.items():
+            base = base_throughput(prefillonly_engine_spec(), setup, trace)
+            qps_values = paper_qps_points(base, qps_multipliers())
+            results = compare_engines(all_engine_specs(), setup, trace, qps_values)
+            grid[(setup_name, workload_name)] = {
+                "base_qps": base,
+                "qps_values": qps_values,
+                "results": results,
+            }
+    _SWEEP_GRID_CACHE = grid
+    return grid

@@ -1,0 +1,69 @@
+"""Figure 11 — request latency CDF under different fairness parameters λ.
+
+PrefillOnly offsets each request's JCT score by λ times its queueing time
+(Algorithm 1).  The paper varies λ in {0, 200, 2000} and shows that a larger λ
+improves the tail (P99) latency at the cost of a higher average latency.  The
+benchmark replays the post-recommendation workload at an overloaded rate under
+the three values and reports the CDF summary.
+"""
+
+from __future__ import annotations
+
+from conftest import post_recommendation_trace, show
+
+from repro.core.engine import prefillonly_engine_spec
+from repro.hardware.cluster import get_hardware_setup
+from repro.simulation.arrival import PoissonArrivalProcess
+from repro.simulation.metrics import latency_cdf
+from repro.simulation.server import ServingSystem
+from repro.simulation.simulator import simulate
+
+LAMBDAS = (0.0, 200.0, 2000.0)
+#: Offered load multiplier over PrefillOnly's base throughput (overload regime,
+#: where scheduling order actually matters).
+OVERLOAD_FACTOR = 3.0
+
+
+def _run_all():
+    setup = get_hardware_setup("h100")
+    trace = post_recommendation_trace()
+    from repro.analysis.sweep import base_throughput
+
+    base = base_throughput(prefillonly_engine_spec(), setup, trace)
+    rate = base * OVERLOAD_FACTOR
+    results = {}
+    for fairness in LAMBDAS:
+        spec = prefillonly_engine_spec(fairness_lambda=fairness)
+        system = ServingSystem.for_setup(spec, setup,
+                                         max_input_length=trace.max_request_tokens)
+        requests = PoissonArrivalProcess(rate=rate, seed=11).assign(list(trace.requests))
+        results[fairness] = simulate(system, requests)
+    return results
+
+
+def test_fig11_latency_cdf_vs_lambda(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for fairness, result in results.items():
+        summary = result.summary
+        rows.append({
+            "lambda": fairness,
+            "mean_latency_s": round(summary.mean_latency, 3),
+            "p50_latency_s": round(summary.p50_latency, 3),
+            "p99_latency_s": round(summary.p99_latency, 3),
+            "max_latency_s": round(summary.max_latency, 3),
+        })
+    show("Figure 11 — latency statistics of PrefillOnly under different λ", rows)
+    benchmark.extra_info["fig11"] = rows
+
+    # Larger λ improves the tail ...
+    assert results[2000.0].summary.p99_latency <= results[0.0].summary.p99_latency * 1.001
+    # ... and costs (or at least does not improve) the average.
+    assert results[2000.0].summary.mean_latency >= results[0.0].summary.mean_latency * 0.999
+
+    # The CDFs are well formed and cover every request.
+    for fairness, result in results.items():
+        cdf = latency_cdf(result.finished)
+        assert cdf[-1][1] == 1.0
+        assert all(a[0] <= b[0] for a, b in zip(cdf, cdf[1:]))

@@ -1,0 +1,50 @@
+"""Figure 4 — intermediate tensor sizes of the MLP module in Llama-3.1-8B.
+
+Regenerates the per-token tensor shapes of the SwiGLU MLP and their ratio to
+the one-layer KV cache (28,672 elements per token, 14x and 7x one-layer KV).
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.model.config import get_model
+from repro.model.layers import mlp_tensor_report
+
+TOKENS = 32_768
+
+
+def test_fig4_mlp_intermediate_tensor_sizes(benchmark):
+    model = get_model("llama-3.1-8b")
+    report = benchmark.pedantic(lambda: mlp_tensor_report(model), rounds=1, iterations=1)
+    rows = report.rows(num_tokens=TOKENS, bytes_per_element=model.activation_bytes_per_element)
+    show(f"Figure 4 — MLP tensors for a {TOKENS}-token prefill (Llama-3.1-8B, bf16)", rows)
+    benchmark.extra_info["fig4"] = rows
+
+    by_name = {row["tensor"]: row for row in rows}
+    assert by_name["input"]["per_token_elements"] == 4096
+    assert by_name["intermediate_1 (gate+up)"]["per_token_elements"] == 28_672
+    assert by_name["intermediate_2 (after SwiGLU)"]["per_token_elements"] == 14_336
+    assert by_name["output"]["per_token_elements"] == 4096
+    # Paper callouts: 14x and 7x larger than one layer of KV cache.
+    assert by_name["intermediate_1 (gate+up)"]["vs_one_layer_kv"] == 14.0
+    assert by_name["intermediate_2 (after SwiGLU)"]["vs_one_layer_kv"] == 7.0
+
+
+def test_fig4_holds_for_all_registered_models(benchmark):
+    """The observation generalises: MLP intermediates dwarf one-layer KV everywhere."""
+    from repro.model.config import MODEL_REGISTRY
+
+    def build():
+        return {name: mlp_tensor_report(model) for name, model in MODEL_REGISTRY.items()}
+
+    reports = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        {"model": name,
+         "gate_up_vs_one_layer_kv": round(report.gate_up_vs_one_layer_kv, 1),
+         "down_input_vs_one_layer_kv": round(report.down_input_vs_one_layer_kv, 1)}
+        for name, report in reports.items()
+    ]
+    show("Figure 4 (generalised) — MLP intermediate vs one-layer KV across models", rows)
+    for report in reports.values():
+        assert report.gate_up_vs_one_layer_kv > 5.0

@@ -1,0 +1,34 @@
+"""Figure 5 — FIFO vs SRJF vs SRJF + continuous JCT calibration.
+
+Replays the paper's four-request example (A/B/C/D with shared prefixes and a
+prefix cache that holds roughly one request's state) under the three scheduling
+policies and reports the schedules and cache-hit counts.  The paper's outcome —
+one hit for FIFO, one for plain SRJF, two for calibrated SRJF — is asserted.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.analysis.scheduling_example import figure5_comparison
+
+
+def test_fig5_scheduling_policies(benchmark):
+    results = benchmark.pedantic(figure5_comparison, rounds=1, iterations=1)
+    rows = [
+        {"policy": result.policy,
+         "schedule": " -> ".join(result.schedule),
+         "cache_hits": result.cache_hits,
+         "hit_requests": ", ".join(result.hit_requests) or "-"}
+        for result in results
+    ]
+    show("Figure 5 — scheduling example (A < C < B < D, A/D and B/C share prefixes)", rows)
+    benchmark.extra_info["fig5"] = rows
+
+    by_policy = {result.policy: result for result in results}
+    assert by_policy["fcfs"].schedule == ("A", "B", "C", "D")
+    assert by_policy["fcfs"].cache_hits == 1
+    assert by_policy["srjf"].schedule == ("A", "C", "B", "D")
+    assert by_policy["srjf"].cache_hits == 1
+    assert by_policy["srjf-calibrated"].schedule == ("A", "D", "C", "B")
+    assert by_policy["srjf-calibrated"].cache_hits == 2

@@ -1,0 +1,52 @@
+"""Figure 7 — offered QPS vs P99 latency, per workload and hardware setup.
+
+Same runs as Figure 6 (the sweep grid is shared), reported at the 99th
+percentile.  The paper's claim is that PrefillOnly's JCT-based scheduling does
+not hurt tail latency once the fairness offset is applied: at the highest
+offered load its P99 is competitive with (in our reproduction: no more than a
+small factor above) the best baseline, while its mean latency is the lowest.
+"""
+
+from __future__ import annotations
+
+from conftest import compute_sweep_grid, show
+
+#: P99 competitiveness tolerance at the top offered load.
+P99_TOLERANCE = 1.25
+
+
+def test_fig7_qps_vs_p99_latency(benchmark):
+    grid = benchmark.pedantic(compute_sweep_grid, rounds=1, iterations=1)
+
+    for (setup_name, workload_name), payload in grid.items():
+        rows = []
+        for engine, points in payload["results"].items():
+            for point in points:
+                rows.append({
+                    "engine": engine,
+                    "qps": round(point.qps, 3),
+                    "p99_latency_s": round(point.p99_latency, 3),
+                })
+            if not points:
+                rows.append({"engine": engine, "qps": "-", "p99_latency_s": "infeasible"})
+        show(f"Figure 7 — {workload_name} on {setup_name}: QPS vs P99 latency", rows)
+
+    for (setup_name, workload_name), payload in grid.items():
+        results = payload["results"]
+        top_p99 = {
+            engine: points[-1].p99_latency
+            for engine, points in results.items() if points
+        }
+        best = min(top_p99.values())
+        assert top_p99["prefillonly"] <= best * P99_TOLERANCE, (
+            f"PrefillOnly's P99 is not competitive at the top offered load for "
+            f"{workload_name} on {setup_name}: {top_p99}"
+        )
+
+
+def test_fig7_p99_dominates_mean(benchmark):
+    grid = benchmark.pedantic(compute_sweep_grid, rounds=1, iterations=1)
+    for payload in grid.values():
+        for points in payload["results"].values():
+            for point in points:
+                assert point.p99_latency >= point.mean_latency * 0.999

@@ -1,0 +1,51 @@
+"""Figure 8 — throughput of PrefillOnly vs parallelisation on 2x H100,
+with and without NVLink, on the credit-verification workload.
+
+The paper's point: NVLink greatly accelerates the tensor-parallel baseline's
+all-reduce traffic, but PrefillOnly still has the highest request throughput
+because it spends no GPU time on cross-GPU communication at all.
+"""
+
+from __future__ import annotations
+
+from conftest import credit_verification_trace, show
+
+from repro.analysis.sweep import throughput_comparison
+from repro.baselines import pipeline_parallel_spec, tensor_parallel_spec
+from repro.core.engine import prefillonly_engine_spec
+from repro.hardware.cluster import get_hardware_setup
+
+SPECS = [prefillonly_engine_spec(), pipeline_parallel_spec(), tensor_parallel_spec()]
+
+
+def _compute():
+    trace = credit_verification_trace()
+    return {
+        "h100 (PCIe)": throughput_comparison(SPECS, get_hardware_setup("h100"), trace),
+        "h100 (NVLink)": throughput_comparison(SPECS, get_hardware_setup("h100-nvlink"), trace),
+    }
+
+
+def test_fig8_throughput_with_and_without_nvlink(benchmark):
+    results = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for setup_name, throughputs in results.items():
+        for engine, value in throughputs.items():
+            rows.append({"setup": setup_name, "engine": engine,
+                         "throughput_req_per_s": round(value, 4)})
+    show("Figure 8 — credit-verification throughput on 2x H100", rows)
+    benchmark.extra_info["fig8"] = rows
+
+    pcie = results["h100 (PCIe)"]
+    nvlink = results["h100 (NVLink)"]
+
+    # NVLink helps the communication-heavy tensor-parallel baseline a lot ...
+    assert nvlink["tensor-parallel"] > pcie["tensor-parallel"] * 1.3
+    # ... and is irrelevant to PrefillOnly, which does not communicate.
+    assert abs(nvlink["prefillonly"] - pcie["prefillonly"]) / pcie["prefillonly"] < 0.02
+    # PrefillOnly has the highest throughput in both cases (the paper's headline).
+    for setup_name, throughputs in results.items():
+        best_baseline = max(throughputs["tensor-parallel"], throughputs["pipeline-parallel"])
+        assert throughputs["prefillonly"] >= best_baseline, (
+            f"PrefillOnly is not the fastest on {setup_name}: {throughputs}"
+        )

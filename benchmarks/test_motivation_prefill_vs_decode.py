@@ -1,0 +1,44 @@
+"""§2.3 measurement — prefill-only requests are cheaper than generative requests.
+
+The paper measures that, on Llama-3.1-8B with one H100, a request with 2,048
+input tokens and 256 output tokens is about 1.5x slower than the same request
+with a single output token.  The latency model reproduces the comparison (the
+exact factor depends on the decode batch size the serving engine sustains).
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.hardware.gpu import get_gpu
+from repro.model.config import get_model
+from repro.model.latency import LatencyModel
+
+INPUT_TOKENS = 2_048
+OUTPUT_TOKENS = 256
+DECODE_BATCH = 64
+
+
+def _measure():
+    latency = LatencyModel(get_model("llama-3.1-8b"), get_gpu("h100-80gb"))
+    prefill_only = latency.request_time(INPUT_TOKENS, 1)
+    generative = latency.request_time(INPUT_TOKENS, OUTPUT_TOKENS, batch_size=DECODE_BATCH)
+    return prefill_only, generative
+
+
+def test_motivation_prefill_only_is_faster(benchmark):
+    prefill_only, generative = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    ratio = generative / prefill_only
+    rows = [
+        {"request": f"{INPUT_TOKENS} in / 1 out (prefill-only)",
+         "latency_s": round(prefill_only, 4)},
+        {"request": f"{INPUT_TOKENS} in / {OUTPUT_TOKENS} out (generative)",
+         "latency_s": round(generative, 4)},
+        {"request": "slowdown of generative vs prefill-only (paper: ~1.5x)",
+         "latency_s": round(ratio, 2)},
+    ]
+    show("§2.3 — prefill-only vs generative request latency (Llama-3.1-8B, H100)", rows)
+    benchmark.extra_info["motivation"] = rows
+
+    assert ratio > 1.3, "generating 256 tokens should be clearly slower than prefill-only"
+    assert ratio < 30.0, "under continuous batching the slowdown stays moderate"

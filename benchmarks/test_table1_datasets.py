@@ -1,0 +1,83 @@
+"""Table 1 — the two evaluation datasets.
+
+Regenerates the dataset summary the paper reports: number of users, request
+length distribution, requests per user, and total token counts, for the post
+recommendation and credit verification workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_SCALE, show
+
+from repro.workloads.registry import get_workload
+
+#: Paper values (Table 1) for reference in the printed output.
+PAPER_TABLE1 = {
+    "post-recommendation": {
+        "num_users": 20,
+        "requests_per_user": 50,
+        "profile_tokens": "11,000 - 17,000",
+        "post_tokens": 150,
+        "total_tokens": 14_000_000,
+    },
+    "credit-verification": {
+        "num_users": 60,
+        "requests_per_user": 1,
+        "history_tokens": "40,000 - 60,000",
+        "total_tokens": 3_000_000,
+    },
+}
+
+
+def _generate_both():
+    return {
+        "post-recommendation": get_workload("post-recommendation"),
+        "credit-verification": get_workload("credit-verification"),
+    }
+
+
+def test_table1_dataset_summaries(benchmark):
+    """Generate both paper-scale datasets and reproduce Table 1."""
+    traces = benchmark.pedantic(_generate_both, rounds=1, iterations=1)
+
+    rows = []
+    for name, trace in traces.items():
+        summary = trace.summary()
+        paper = PAPER_TABLE1[name]
+        rows.append({
+            "dataset": name,
+            "users (paper)": paper["num_users"],
+            "users (ours)": summary["num_users"],
+            "requests": summary["num_requests"],
+            "min tokens": summary["min_request_tokens"],
+            "max tokens": summary["max_request_tokens"],
+            "total tokens (paper)": paper["total_tokens"],
+            "total tokens (ours)": summary["total_tokens"],
+        })
+    show("Table 1 — evaluation datasets (paper-scale generation)", rows)
+    benchmark.extra_info["table1"] = rows
+
+    post = traces["post-recommendation"]
+    credit = traces["credit-verification"]
+    assert post.num_users == 20 and len(post) == 1000
+    assert credit.num_users == 60 and len(credit) == 60
+    assert 13_000_000 < post.total_tokens < 16_000_000
+    assert 2_400_000 < credit.total_tokens < 3_800_000
+
+
+def test_table1_request_length_distributions(benchmark):
+    """Request lengths fall in the paper's ranges for both datasets."""
+    traces = benchmark.pedantic(_generate_both, rounds=1, iterations=1)
+    post = traces["post-recommendation"]
+    credit = traces["credit-verification"]
+    for request in post:
+        assert 11_000 <= request.metadata["profile_tokens"] <= 17_000
+    for request in credit:
+        assert 40_000 <= request.metadata["history_tokens"] <= 60_000
+    rows = [
+        {"dataset": post.name, "mean request tokens": round(post.mean_request_tokens),
+         "scale": "paper" if PAPER_SCALE else "paper (Table 1 always full scale)"},
+        {"dataset": credit.name, "mean request tokens": round(credit.mean_request_tokens),
+         "scale": "paper"},
+    ]
+    show("Table 1 — request length distributions", rows)

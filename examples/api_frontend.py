@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Serving frontend: handle OpenAI-style prefill-only completion requests.
+
+The paper's engine exposes an OpenAI-compatible HTTP endpoint; applications
+send a prompt, a list of acceptable output tokens (e.g. Yes/No), and a user id,
+and receive the constrained-output probabilities back.  This example drives the
+in-process frontend exactly the way an HTTP handler would: JSON-style payloads
+in, JSON-style bodies out — including the prefix-cache accounting that shows up
+when one user sends many requests sharing a long profile prefix.
+
+Run with::
+
+    python examples/api_frontend.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import PrefillOnlyFrontend
+from repro.analysis.reporting import format_table
+
+USER_PROFILE = (
+    "User profile: a site reliability engineer who reads about schedulers, "
+    "GPU memory management, caching, and latency debugging. "
+) * 20  # a long shared prefix, as in the post-recommendation workload
+
+POSTS = [
+    "An illustrated guide to paged KV cache allocators.",
+    "Five easy weeknight pasta recipes.",
+    "How continuous calibration keeps job-completion-time estimates fresh.",
+    "Celebrity skincare routines ranked.",
+]
+
+
+def main() -> None:
+    frontend = PrefillOnlyFrontend()
+
+    print("One raw OpenAI-style exchange:")
+    payload = {
+        "prompt": USER_PROFILE + f"Should we recommend: {POSTS[0]} Answer:",
+        "allowed_outputs": ["Yes", "No"],
+        "user": "user-42",
+        "max_tokens": 1,
+    }
+    body = frontend.handle_completion(payload)
+    print(json.dumps(body, indent=2)[:600])
+    print()
+
+    rows = []
+    for index, post in enumerate(POSTS):
+        body = frontend.handle_completion({
+            "prompt": USER_PROFILE + f"Should we recommend: {post} Answer:",
+            "allowed_outputs": ["Yes", "No"],
+            "user": "user-42",
+        })
+        top = body["choices"][0]["logprobs"]["top_logprobs"][0]
+        rows.append({
+            "request": index,
+            "post": post[:44],
+            "p_yes": round(top["Yes"], 3),
+            "decision": body["choices"][0]["text"],
+            "prompt_tokens": body["usage"]["prompt_tokens"],
+            "cached_prompt_tokens": body["prefillonly"]["cached_prompt_tokens"],
+        })
+    print(format_table(rows, title="Four requests from the same user (prefix reuse visible)"))
+    print()
+    print("Note how requests after the first report a large cached_prompt_tokens value: the "
+          "user's shared profile prefix is reused, which is exactly what PrefillOnly's "
+          "calibrated scheduler exploits on the serving path.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Engine comparison: regenerate a Figure-6-style sweep from the public API.
+
+Sweeps all five engines (PrefillOnly plus the four baselines) over a grid of
+offered loads on one hardware setup and workload, and prints the QPS vs
+mean/P99 latency series plus the scheduling ablation (FCFS vs SRJF vs SRJF with
+continuous calibration) on the same workload.
+
+Run with::
+
+    python examples/engine_comparison.py [setup] [workload]
+
+where ``setup`` is one of l4 / a100 / h100 / h100-nvlink (default h100) and
+``workload`` is post-recommendation or credit-verification (default
+post-recommendation).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import all_engine_specs, get_hardware_setup, get_workload, prefillonly_engine_spec
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import base_throughput, compare_engines, paper_qps_points, qps_sweep
+from repro.core.engine import EngineSpec
+
+
+def sweep_all_engines(setup, trace) -> None:
+    print("=" * 72)
+    print(f"Part 1: QPS sweep of every engine ({trace.name} on {setup.name})")
+    print("=" * 72)
+    base = base_throughput(prefillonly_engine_spec(), setup, trace)
+    qps_values = paper_qps_points(base, (0.5, 1.0, 2.0, 4.0))
+    results = compare_engines(all_engine_specs(), setup, trace, qps_values)
+
+    rows = []
+    for engine, points in results.items():
+        if not points:
+            rows.append({"engine": engine, "qps": "-", "mean_latency_s": "cannot serve",
+                         "p99_latency_s": "-", "throughput_rps": "-"})
+            continue
+        for point in points:
+            rows.append({
+                "engine": engine,
+                "qps": round(point.qps, 2),
+                "mean_latency_s": round(point.mean_latency, 2),
+                "p99_latency_s": round(point.p99_latency, 2),
+                "throughput_rps": round(point.throughput_rps, 2),
+            })
+    print(format_table(rows))
+    print()
+
+
+def scheduling_ablation(setup, trace) -> None:
+    print("=" * 72)
+    print("Part 2: scheduling ablation on the PrefillOnly engine")
+    print("=" * 72)
+    base = base_throughput(prefillonly_engine_spec(), setup, trace)
+    qps = base * 2.0  # overload, where scheduling order matters
+
+    variants: list[tuple[str, EngineSpec]] = [
+        ("fcfs", prefillonly_engine_spec(scheduling_policy="fcfs")),
+        ("srjf (arrival-time JCT)", prefillonly_engine_spec(scheduling_policy="srjf")),
+        ("srjf + continuous calibration", prefillonly_engine_spec()),
+    ]
+    rows = []
+    for label, spec in variants:
+        point = qps_sweep(spec, setup, trace, [qps])[0]
+        rows.append({
+            "scheduler": label,
+            "offered_qps": round(qps, 2),
+            "mean_latency_s": round(point.mean_latency, 2),
+            "p99_latency_s": round(point.p99_latency, 2),
+            "cache_hit_rate": round(point.cache_hit_rate, 2),
+        })
+    print(format_table(rows, title="Hybrid prefilling fixed; only the scheduler varies"))
+
+
+def main() -> None:
+    setup_name = sys.argv[1] if len(sys.argv) > 1 else "h100"
+    workload_name = sys.argv[2] if len(sys.argv) > 2 else "post-recommendation"
+    setup = get_hardware_setup(setup_name)
+    if workload_name == "post-recommendation":
+        trace = get_workload(workload_name, num_users=6, posts_per_user=12, seed=0)
+    else:
+        trace = get_workload(workload_name, num_users=10, seed=0)
+    sweep_all_engines(setup, trace)
+    scheduling_ablation(setup, trace)
+
+
+if __name__ == "__main__":
+    main()

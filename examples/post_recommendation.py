@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Post recommendation: the paper's motivating application, end to end.
+
+A social-media platform wants to pick the 3 most relevant posts (out of a
+candidate set) for each user.  Each candidate becomes one prefill-only request:
+a long shared prefix (system prompt + user profile + browsing history) followed
+by the candidate post, with the LLM's P(Yes) used as the recommendation score.
+
+The example has two parts:
+
+* **scoring** — build real prompts with the synthetic tokenizer, score every
+  candidate with the micro-transformer, and rank them (this is what a single
+  application server does);
+* **serving** — replay the paper's post-recommendation trace against
+  PrefillOnly and against the PagedAttention baseline at the same offered load,
+  to show where the engine's scheduling and prefix-cache behaviour pay off.
+
+Run with::
+
+    python examples/post_recommendation.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MicroTransformer,
+    PoissonArrivalProcess,
+    ServingSystem,
+    get_hardware_setup,
+    get_workload,
+    paged_attention_spec,
+    prefillonly_engine_spec,
+    simulate,
+)
+from repro.analysis.reporting import format_table
+from repro.workloads.tokenizer import SyntheticTokenizer
+
+USER_PROFILE = (
+    "The user is a backend engineer who reads about operating systems, GPU "
+    "scheduling, cache-aware data structures, and large-scale serving. Over the "
+    "last month they clicked on articles about paged memory management, radix "
+    "trees, request routing, and tail-latency debugging."
+)
+
+CANDIDATE_POSTS = {
+    "kv-cache-deep-dive": "A deep dive into KV cache management for LLM serving engines.",
+    "sourdough-tips": "Ten tips for baking a better sourdough loaf this weekend.",
+    "srjf-scheduling": "Why shortest-remaining-job-first still matters for modern schedulers.",
+    "celebrity-gossip": "You will not believe what happened at the award show last night.",
+    "gpu-memory-spikes": "Understanding activation memory spikes in transformer inference.",
+}
+
+YES_TOKEN, NO_TOKEN = 7, 13
+
+
+def build_prompt(post_text: str) -> str:
+    return (
+        "You are a recommendation assistant that uses the user's profile and history "
+        "to decide whether to recommend an item.\n"
+        f"Here is the user profile:\n{USER_PROFILE}\n"
+        f"If we recommend the following article to this user, will the user be "
+        f"interested in reading it? Please respond using Yes or No.\n{post_text}\n"
+        "Your answer is:"
+    )
+
+
+def rank_candidates() -> None:
+    print("=" * 72)
+    print("Part 1: scoring candidate posts with prefill-only requests")
+    print("=" * 72)
+    tokenizer = SyntheticTokenizer(vocab_size=512)
+    model = MicroTransformer(seed=3)
+
+    rows = []
+    for name, text in CANDIDATE_POSTS.items():
+        token_ids = tokenizer.encode(build_prompt(text))
+        result = model.prefill_hybrid(token_ids)
+        score = result.constrained_probabilities([YES_TOKEN, NO_TOKEN])[YES_TOKEN]
+        rows.append({"post": name, "prompt_tokens": len(token_ids),
+                     "p_yes": round(score, 4)})
+    rows.sort(key=lambda row: row["p_yes"], reverse=True)
+    for rank, row in enumerate(rows, start=1):
+        row["rank"] = rank
+    print(format_table(rows, columns=["rank", "post", "prompt_tokens", "p_yes"],
+                       title="Recommendation scores (top 3 would be shown to the user)"))
+    print()
+
+
+def serve_the_trace() -> None:
+    print("=" * 72)
+    print("Part 2: serving the post-recommendation trace (PrefillOnly vs PagedAttention)")
+    print("=" * 72)
+    setup = get_hardware_setup("l4")
+    trace = get_workload("post-recommendation", num_users=6, posts_per_user=15, seed=1)
+    offered_qps = 6.0
+
+    rows = []
+    for spec in (prefillonly_engine_spec(), paged_attention_spec()):
+        system = ServingSystem.for_setup(spec, setup,
+                                         max_input_length=trace.max_request_tokens)
+        requests = PoissonArrivalProcess(rate=offered_qps, seed=5).assign(list(trace.requests))
+        result = simulate(system, requests)
+        summary = result.summary
+        rows.append({
+            "engine": spec.name,
+            "offered_qps": offered_qps,
+            "mean_latency_s": round(summary.mean_latency, 2),
+            "p99_latency_s": round(summary.p99_latency, 2),
+            "throughput_rps": round(summary.throughput_rps, 2),
+            "cache_hit_rate": round(summary.cache_hit_rate, 2),
+        })
+    print(format_table(rows, title=f"2x NVIDIA L4, Llama-3.1-8B, {len(trace)} requests"))
+    print()
+    print("PrefillOnly's calibrated SRJF prioritises requests whose user profile is "
+          "already cached, which keeps latency lower at the same offered load.")
+
+
+def main() -> None:
+    rank_candidates()
+    serve_the_trace()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: serve a prefill-only workload with PrefillOnly.
+
+This example walks through the three things a user of the library does most
+often:
+
+1. score a single prefill-only request (the "P(Yes) / P(No)" contract of the
+   paper's applications) on the numerical micro-transformer;
+2. stand up a PrefillOnly serving system on one of the paper's hardware setups;
+3. replay a small post-recommendation trace against it and read the latency /
+   throughput / cache-hit summary.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MicroTransformer,
+    PoissonArrivalProcess,
+    ServingSystem,
+    get_hardware_setup,
+    get_workload,
+    prefillonly_engine_spec,
+    simulate,
+)
+from repro.analysis.reporting import format_table
+from repro.workloads.tokenizer import SyntheticTokenizer
+
+
+def score_one_request() -> None:
+    """Step 1: one prefill-only request, scored with constrained output."""
+    print("=" * 72)
+    print("Step 1: scoring a single prefill-only request")
+    print("=" * 72)
+
+    tokenizer = SyntheticTokenizer(vocab_size=512)
+    prompt = (
+        "You are a recommendation assistant. Here is the user profile: "
+        "enjoys long-form systems papers, reads about GPU scheduling daily. "
+        "If we recommend the article 'PagedAttention explained' to this user, "
+        "will the user be interested in reading it? Please respond Yes or No. "
+        "Your answer is:"
+    )
+    token_ids = tokenizer.encode(prompt)
+
+    model = MicroTransformer(seed=0)
+    # The application constrains the output to two tokens and uses P(yes) as a
+    # score, exactly as described in §2.3 of the paper.
+    yes_token, no_token = 7, 13
+    result = model.prefill_hybrid(token_ids)
+    scores = result.constrained_probabilities([yes_token, no_token])
+    print(f"prompt tokens      : {len(token_ids)}")
+    print(f"P(yes)             : {scores[yes_token]:.3f}")
+    print(f"P(no)              : {scores[no_token]:.3f}")
+    print(f"peak activation use: {result.peak_bytes / 1024:.1f} KiB (hybrid prefilling)")
+    print()
+
+
+def serve_a_trace() -> None:
+    """Steps 2 and 3: build a serving system and replay a workload."""
+    print("=" * 72)
+    print("Step 2: serving a post-recommendation trace with PrefillOnly")
+    print("=" * 72)
+
+    setup = get_hardware_setup("h100")
+    trace = get_workload("post-recommendation", num_users=6, posts_per_user=10)
+    print(format_table([trace.summary()], title="Workload"))
+    print()
+
+    spec = prefillonly_engine_spec()
+    system = ServingSystem.for_setup(spec, setup, max_input_length=trace.max_request_tokens)
+    print(f"engine             : {spec.description}")
+    print(f"instances          : {system.num_instances} (one per GPU, user-id routing)")
+    print(f"KV budget / GPU    : {system.instances[0].profile.kv_budget_tokens:,} tokens")
+    print()
+
+    requests = PoissonArrivalProcess(rate=8.0, seed=0).assign(list(trace.requests))
+    result = simulate(system, requests)
+    print(format_table([result.summary.as_dict()], title="Simulation summary"))
+    print()
+    print(format_table(result.cache_stats, title="Per-instance prefix cache statistics"))
+
+
+def main() -> None:
+    score_one_request()
+    serve_a_trace()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in editable mode in fully offline environments whose
+setuptools predates native PEP 660 support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

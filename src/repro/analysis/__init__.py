@@ -1,0 +1,36 @@
+"""Analysis and benchmark harness utilities.
+
+These modules turn the substrates and engines into the numbers the paper
+reports: maximum input length per engine per GPU (Table 2, Figure 10), QPS
+versus latency sweeps (Figures 6, 7, 9), throughput comparisons (Figure 8), and
+plain-text tables for all of them.
+"""
+
+from repro.analysis.mil import max_input_length, mil_table, workload_feasibility
+from repro.analysis.ablation import mil_ablation, MILAblationStep
+from repro.analysis.sweep import (
+    SweepPoint,
+    run_once,
+    base_throughput,
+    qps_sweep,
+    compare_engines,
+    paper_qps_points,
+)
+from repro.analysis.reporting import format_table, format_series, to_markdown_table
+
+__all__ = [
+    "max_input_length",
+    "mil_table",
+    "workload_feasibility",
+    "mil_ablation",
+    "MILAblationStep",
+    "SweepPoint",
+    "run_once",
+    "base_throughput",
+    "qps_sweep",
+    "compare_engines",
+    "paper_qps_points",
+    "format_table",
+    "format_series",
+    "to_markdown_table",
+]

@@ -1,0 +1,112 @@
+"""Maximum input length (MIL) analysis — Table 2 of the paper.
+
+For every engine configuration and GPU, the MIL is the largest request (in
+tokens) the engine can serve at all.  The engine's profile run
+(:func:`repro.core.profile_run.run_profile`) already decides feasibility for a
+given length, so the MIL is found by doubling until infeasible and then binary
+searching the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import EngineSpec
+from repro.core.profile_run import run_profile
+from repro.errors import CapacityError
+from repro.hardware.cluster import HardwareSetup
+from repro.hardware.gpu import GPUSpec
+from repro.model.config import ModelConfig
+
+#: Search ceiling: no evaluated configuration exceeds a few hundred thousand
+#: tokens, so four million is a safe upper bound for the doubling search.
+_SEARCH_CEILING = 4_000_000
+
+
+def _fits(spec: EngineSpec, model: ModelConfig, gpu: GPUSpec, num_tokens: int) -> bool:
+    try:
+        run_profile(
+            model, gpu,
+            max_input_length=num_tokens,
+            mode=spec.prefill_mode,
+            chunk_tokens=spec.chunk_tokens,
+            retain_kv_layers=spec.retain_kv_layers,
+            tensor_parallel=spec.tensor_parallel,
+            pipeline_parallel=spec.pipeline_parallel,
+        )
+        return True
+    except CapacityError:
+        return False
+
+
+def max_input_length(spec: EngineSpec, model: ModelConfig, gpu: GPUSpec) -> int:
+    """Largest request length (tokens) this engine can serve on this GPU.
+
+    Returns 0 if even a one-token request does not fit (the model's weights
+    alone exceed the GPU under the spec's sharding).
+    """
+    if not _fits(spec, model, gpu, 1):
+        return 0
+    low = 1
+    high = 2
+    while high <= _SEARCH_CEILING and _fits(spec, model, gpu, high):
+        low = high
+        high *= 2
+    if high > _SEARCH_CEILING:
+        return _SEARCH_CEILING
+    # Invariant: low fits, high does not.
+    while high - low > 1:
+        middle = (low + high) // 2
+        if _fits(spec, model, gpu, middle):
+            low = middle
+        else:
+            high = middle
+    return low
+
+
+@dataclass(frozen=True)
+class WorkloadFeasibility:
+    """Whether an engine's MIL covers a workload's longest request."""
+
+    workload: str
+    required_tokens: int
+    feasible: bool
+
+
+def workload_feasibility(mil: int, workload_max_tokens: dict[str, int]) -> list[WorkloadFeasibility]:
+    """Check one engine's MIL against each workload's longest request."""
+    return [
+        WorkloadFeasibility(workload=name, required_tokens=required, feasible=mil >= required)
+        for name, required in workload_max_tokens.items()
+    ]
+
+
+def mil_table(specs: list[EngineSpec], setups: list[HardwareSetup],
+              model_resolver, *, workload_max_tokens: dict[str, int] | None = None) -> list[dict]:
+    """Build the Table 2 rows: one row per (engine, hardware setup).
+
+    Args:
+        specs: Engine specs to evaluate.
+        setups: Hardware setups (each carries its model name).
+        model_resolver: Callable mapping a model name to a :class:`ModelConfig`
+            (normally :func:`repro.model.get_model`; injected to avoid a cycle).
+        workload_max_tokens: Optional map of workload name to its longest
+            request, for the WL1/WL2 feasibility marks.
+    """
+    rows: list[dict] = []
+    for spec in specs:
+        for setup in setups:
+            model = model_resolver(setup.model_name)
+            mil = max_input_length(spec, model, setup.cluster.gpu)
+            row = {
+                "engine": spec.name,
+                "hardware": setup.name,
+                "gpu": setup.cluster.gpu.name,
+                "model": model.name,
+                "max_input_length": mil,
+            }
+            if workload_max_tokens:
+                for check in workload_feasibility(mil, workload_max_tokens):
+                    row[f"feasible[{check.workload}]"] = check.feasible
+            rows.append(row)
+    return rows

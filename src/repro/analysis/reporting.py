@@ -1,0 +1,63 @@
+"""Plain-text table / series formatting for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's tables and
+figures report; these helpers keep that printing readable and consistent
+without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], *, columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_stringify(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in table))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in table:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def to_markdown_table(rows: Sequence[dict], *, columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |",
+             "| " + " | ".join("---" for _ in columns) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def format_series(points: Iterable[tuple[float, float]], *, x_label: str = "x",
+                  y_label: str = "y", title: str | None = None) -> str:
+    """Render an (x, y) series as two aligned columns (one figure line)."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, columns=[x_label, y_label], title=title)

@@ -1,0 +1,52 @@
+"""Registry of engine specs evaluated in the paper (PrefillOnly + 4 baselines)."""
+
+from __future__ import annotations
+
+from repro.baselines.chunked_prefill import chunked_prefill_spec
+from repro.baselines.paged_attention import paged_attention_spec
+from repro.baselines.pipeline_parallel import pipeline_parallel_spec
+from repro.baselines.tensor_parallel import tensor_parallel_spec
+from repro.core.engine import EngineSpec, prefillonly_engine_spec
+from repro.errors import ConfigurationError
+
+_FACTORIES = {
+    "prefillonly": prefillonly_engine_spec,
+    "paged-attention": paged_attention_spec,
+    "chunked-prefill": chunked_prefill_spec,
+    "tensor-parallel": tensor_parallel_spec,
+    "pipeline-parallel": pipeline_parallel_spec,
+}
+
+#: The order the paper's figures list the engines in.
+ENGINE_ORDER = [
+    "prefillonly",
+    "paged-attention",
+    "chunked-prefill",
+    "pipeline-parallel",
+    "tensor-parallel",
+]
+
+
+def baseline_specs() -> list[EngineSpec]:
+    """The four baseline specs, in the paper's presentation order."""
+    return [
+        paged_attention_spec(),
+        chunked_prefill_spec(),
+        pipeline_parallel_spec(),
+        tensor_parallel_spec(),
+    ]
+
+
+def all_engine_specs() -> list[EngineSpec]:
+    """PrefillOnly followed by the four baselines."""
+    return [prefillonly_engine_spec(), *baseline_specs()]
+
+
+def get_engine_spec(name: str, **overrides) -> EngineSpec:
+    """Build one engine spec by name, optionally overriding its parameters."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(ENGINE_ORDER)
+        raise ConfigurationError(f"unknown engine {name!r}; known engines: {known}") from None
+    return factory(**overrides)

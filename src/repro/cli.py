@@ -1,0 +1,139 @@
+"""Command-line interface for the PrefillOnly reproduction.
+
+Subcommands map to the main things a user wants to do without writing code:
+
+* ``prefillonly list``      — show the registered models, GPUs, setups, engines;
+* ``prefillonly mil``       — print the Table 2 maximum-input-length matrix;
+* ``prefillonly sweep``     — run a QPS sweep of one engine on one setup;
+* ``prefillonly compare``   — compare every engine at one offered QPS;
+* ``prefillonly workload``  — print a workload's Table 1 summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.mil import mil_table
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import compare_engines, paper_qps_points, base_throughput, qps_sweep
+from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
+from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
+from repro.model.config import MODEL_REGISTRY, get_model
+from repro.hardware.gpu import GPU_REGISTRY
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(format_table([m.describe() for m in MODEL_REGISTRY.values()], title="Models"))
+    print()
+    print(format_table([g.describe() for g in GPU_REGISTRY.values()], title="GPUs"))
+    print()
+    print(format_table([s.describe() for s in HARDWARE_SETUPS.values()], title="Hardware setups"))
+    print()
+    print(format_table(
+        [{"engine": spec.name, "description": spec.description} for spec in all_engine_specs()],
+        title="Engines",
+    ))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    trace = get_workload(args.name)
+    print(format_table([trace.summary()], title=f"Workload: {args.name}"))
+    return 0
+
+
+def _cmd_mil(args: argparse.Namespace) -> int:
+    specs = [get_engine_spec(name) for name in (args.engines or ENGINE_ORDER)]
+    setups = [get_hardware_setup(name) for name in (args.setups or list_hardware_setups())]
+    workload_max = {
+        "WL1-post-recommendation": 17_500,
+        "WL2-credit-verification": 61_000,
+    }
+    rows = mil_table(specs, setups, get_model, workload_max_tokens=workload_max)
+    print(format_table(rows, title="Maximum input length (Table 2)"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = get_engine_spec(args.engine)
+    setup = get_hardware_setup(args.setup)
+    trace = get_workload(args.workload, num_users=args.num_users)
+    if args.qps:
+        qps_values = args.qps
+    else:
+        base = base_throughput(spec, setup, trace)
+        qps_values = paper_qps_points(base)
+    points = qps_sweep(spec, setup, trace, qps_values)
+    print(format_table(
+        [point.as_dict() for point in points],
+        title=f"{args.engine} on {args.setup} / {args.workload}",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    setup = get_hardware_setup(args.setup)
+    trace = get_workload(args.workload, num_users=args.num_users)
+    specs = [get_engine_spec(name) for name in ENGINE_ORDER]
+    reference = get_engine_spec("prefillonly")
+    base = base_throughput(reference, setup, trace)
+    qps_values = args.qps or [base]
+    results = compare_engines(specs, setup, trace, qps_values)
+    rows = [point.as_dict() for points in results.values() for point in points]
+    for name, points in results.items():
+        if not points:
+            rows.append({"engine": name, "hardware": setup.name, "workload": trace.name,
+                         "qps": "-", "mean_latency_s": "infeasible"})
+    print(format_table(rows, title=f"Engine comparison on {args.setup} / {args.workload}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prefillonly",
+        description="PrefillOnly (SOSP 2025) reproduction on a simulated GPU substrate",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list models, GPUs, setups, engines")
+    list_parser.set_defaults(func=_cmd_list)
+
+    workload_parser = subparsers.add_parser("workload", help="summarise a workload (Table 1)")
+    workload_parser.add_argument("name", choices=list_workloads())
+    workload_parser.set_defaults(func=_cmd_workload)
+
+    mil_parser = subparsers.add_parser("mil", help="maximum input length matrix (Table 2)")
+    mil_parser.add_argument("--engines", nargs="*", choices=ENGINE_ORDER)
+    mil_parser.add_argument("--setups", nargs="*", choices=list_hardware_setups())
+    mil_parser.set_defaults(func=_cmd_mil)
+
+    sweep_parser = subparsers.add_parser("sweep", help="QPS sweep of one engine")
+    sweep_parser.add_argument("--engine", default="prefillonly", choices=ENGINE_ORDER)
+    sweep_parser.add_argument("--setup", default="h100", choices=list_hardware_setups())
+    sweep_parser.add_argument("--workload", default="post-recommendation", choices=list_workloads())
+    sweep_parser.add_argument("--num-users", type=int, default=8)
+    sweep_parser.add_argument("--qps", nargs="*", type=float)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    compare_parser = subparsers.add_parser("compare", help="compare every engine at one QPS")
+    compare_parser.add_argument("--setup", default="h100", choices=list_hardware_setups())
+    compare_parser.add_argument("--workload", default="post-recommendation",
+                                choices=list_workloads())
+    compare_parser.add_argument("--num-users", type=int, default=8)
+    compare_parser.add_argument("--qps", nargs="*", type=float)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``prefillonly`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Hybrid prefilling planner.
+
+Hybrid prefilling evaluates position-wise (linear) layers chunk-by-chunk while
+evaluating attention layers over the whole sequence.  The planner in this
+module is the piece the paper implements on top of torch.compile: it takes the
+model's computation graph, groups consecutive position-wise operations into
+virtual layers (via :func:`repro.execution.tensor_graph.group_chunkable_operations`),
+and derives the memory consequences — how large the chunked intermediate
+tensors are, what must stay resident for the whole sequence, and therefore what
+peak memory a prefill of a given length needs.  The engine's profile run and
+the MIL analysis both consume this plan; the numerical validation of the plan
+lives in :class:`repro.execution.numeric.MicroTransformer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.tensor_graph import (
+    ComputationGraph,
+    GraphNode,
+    VirtualLayer,
+    build_transformer_graph,
+    group_chunkable_operations,
+)
+from repro.model.config import ModelConfig
+from repro.model.memory import MemoryModel, PrefillMode
+
+
+@dataclass(frozen=True)
+class HybridPrefillPlan:
+    """The result of planning hybrid prefilling for one model.
+
+    Attributes:
+        chunk_tokens: Chunk size used for the position-wise virtual layers.
+        num_virtual_layers: How many chunked groups the graph was rewritten into.
+        num_attention_ops: How many attention operations remain whole-sequence.
+        largest_group_width: Largest per-token intermediate width of any group
+            (this is what bounds the chunked working set).
+        resident_bytes_per_token: Bytes that must stay live for every token of
+            the sequence (residual stream, one layer's Q/K/V, attention output).
+        chunked_bytes: Working-set bytes of one chunk flowing through the widest
+            virtual layer.
+    """
+
+    chunk_tokens: int
+    num_virtual_layers: int
+    num_attention_ops: int
+    largest_group_width: int
+    resident_bytes_per_token: float
+    chunked_bytes: float
+
+    def peak_activation_bytes(self, num_tokens: int) -> float:
+        """Peak transient activation bytes for a prefill of ``num_tokens``."""
+        effective_chunk = min(num_tokens, self.chunk_tokens)
+        return (
+            num_tokens * self.resident_bytes_per_token
+            + effective_chunk / self.chunk_tokens * self.chunked_bytes
+        )
+
+
+class HybridPrefillPlanner:
+    """Builds :class:`HybridPrefillPlan` objects for a model.
+
+    Args:
+        model: Architecture to plan for.
+        chunk_tokens: Position-wise chunk size (the paper's implementation uses
+            a few thousand tokens; smaller chunks reduce peak memory further at
+            the cost of more kernel launches).
+    """
+
+    def __init__(self, model: ModelConfig, *, chunk_tokens: int = 2048) -> None:
+        if chunk_tokens <= 0:
+            raise ValueError("chunk_tokens must be positive")
+        self._model = model
+        self._chunk_tokens = chunk_tokens
+        self._memory = MemoryModel(model)
+        self._graph: ComputationGraph | None = None
+        self._plan_items: list[VirtualLayer | GraphNode] | None = None
+
+    @property
+    def model(self) -> ModelConfig:
+        return self._model
+
+    @property
+    def chunk_tokens(self) -> int:
+        return self._chunk_tokens
+
+    def graph(self) -> ComputationGraph:
+        """The model's forward computation graph (built lazily, cached)."""
+        if self._graph is None:
+            self._graph = build_transformer_graph(self._model)
+        return self._graph
+
+    def plan_items(self) -> list[VirtualLayer | GraphNode]:
+        """The rewritten execution plan: virtual layers interleaved with attention."""
+        if self._plan_items is None:
+            self._plan_items = group_chunkable_operations(self.graph())
+        return self._plan_items
+
+    def plan(self) -> HybridPrefillPlan:
+        """Summarise the rewritten graph into a memory plan."""
+        items = self.plan_items()
+        virtual_layers = [item for item in items if isinstance(item, VirtualLayer)]
+        attention_ops = [item for item in items if isinstance(item, GraphNode)]
+        largest_width = max(layer.peak_intermediate_width for layer in virtual_layers)
+        profile = self._memory.activation_profile()
+        resident = (
+            2 * profile.residual_bytes
+            + profile.qkv_bytes
+            + profile.attention_output_bytes
+        )
+        chunked = (
+            self._chunk_tokens
+            * largest_width
+            * self._model.activation_bytes_per_element
+        )
+        return HybridPrefillPlan(
+            chunk_tokens=self._chunk_tokens,
+            num_virtual_layers=len(virtual_layers),
+            num_attention_ops=len(attention_ops),
+            largest_group_width=largest_width,
+            resident_bytes_per_token=resident,
+            chunked_bytes=chunked,
+        )
+
+    def peak_memory_bytes(self, num_tokens: int, *, retain_kv_layers: int = 1) -> float:
+        """Peak GPU bytes of a hybrid prefill of ``num_tokens`` (weights included)."""
+        breakdown = self._memory.prefill_breakdown(
+            num_tokens,
+            mode=PrefillMode.HYBRID,
+            chunk_tokens=self._chunk_tokens,
+            retain_kv_layers=retain_kv_layers,
+        )
+        return breakdown.total

@@ -1,0 +1,168 @@
+"""Request schedulers: FCFS, SRJF, and SRJF with continuous JCT calibration.
+
+This module implements Algorithm 1 of the paper.  All schedulers answer one
+question — which waiting request should run next? — but differ in what they
+know:
+
+* :class:`FCFSScheduler` — first come, first served (the vLLM/PagedAttention
+  default, JCT-agnostic);
+* :class:`SRJFScheduler` with ``continuous_calibration=False`` — shortest
+  remaining job first using the JCT computed *when the request arrived*
+  (the traditional JCT-based scheduler of §6.2, which misses cache-hit
+  opportunities because the prefix cache keeps changing);
+* :class:`SRJFScheduler` with ``continuous_calibration=True`` — PrefillOnly's
+  scheduler: before every scheduling step the JCT of every waiting request is
+  re-derived against the *current* prefix cache contents, and the score is
+  offset by ``-λ · queueing_time`` to prevent starvation.
+
+The calibration is memoised per (request, prefix-cache version), so a
+scheduling step only re-queries the cache for requests whose score could have
+changed — this keeps continuous calibration cheap even with long queues.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.jct import JCTEstimator
+from repro.core.request_state import EngineRequest
+from repro.errors import SchedulingError
+from repro.kvcache.manager import KVCacheManager
+
+#: Paper default for the fairness parameter (score units per second of queueing).
+DEFAULT_FAIRNESS_LAMBDA = 500.0
+
+
+@dataclass(frozen=True)
+class SchedulerDecision:
+    """Outcome of one scheduling step."""
+
+    request: EngineRequest
+    score: float
+    cached_tokens: int
+
+
+class Scheduler(abc.ABC):
+    """Policy that picks the next waiting request to execute."""
+
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def select(self, queue: list[EngineRequest], kv: KVCacheManager,
+               now: float) -> SchedulerDecision | None:
+        """Pick the next request (without removing it from ``queue``).
+
+        Returns ``None`` when the queue is empty.
+        """
+
+    def on_submit(self, request: EngineRequest, kv: KVCacheManager, now: float) -> None:
+        """Hook called when a request enters the waiting queue."""
+
+
+class FCFSScheduler(Scheduler):
+    """First-come-first-served scheduling (JCT-agnostic baseline)."""
+
+    name = "fcfs"
+
+    def select(self, queue: list[EngineRequest], kv: KVCacheManager,
+               now: float) -> SchedulerDecision | None:
+        if not queue:
+            return None
+        request = min(queue, key=lambda r: (r.enqueue_time, r.request_id))
+        cached = kv.lookup(request.block_hashes)
+        return SchedulerDecision(request=request, score=request.enqueue_time, cached_tokens=cached)
+
+
+class SRJFScheduler(Scheduler):
+    """Shortest-remaining-job-first, optionally with continuous JCT calibration.
+
+    Args:
+        estimator: Fitted JCT model.  ``None`` selects the paper's default
+            cache-miss-token proxy (score in tokens).
+        fairness_lambda: The λ of Algorithm 1 — score units credited per second
+            of queueing time.  Larger values improve worst-case latency at the
+            cost of average latency (Figure 11).
+        continuous_calibration: Re-derive every waiting request's cached-token
+            count against the current prefix cache before each scheduling step
+            (PrefillOnly's behaviour).  When False, the cached-token count
+            captured at submit time is used forever (traditional SRJF).
+    """
+
+    def __init__(self, *, estimator: JCTEstimator | None = None,
+                 fairness_lambda: float = DEFAULT_FAIRNESS_LAMBDA,
+                 continuous_calibration: bool = True) -> None:
+        if fairness_lambda < 0:
+            raise SchedulingError("fairness_lambda must be non-negative")
+        self._estimator = estimator
+        self._lambda = fairness_lambda
+        self._continuous = continuous_calibration
+        self.name = "srjf-calibrated" if continuous_calibration else "srjf"
+
+    @property
+    def fairness_lambda(self) -> float:
+        return self._lambda
+
+    @property
+    def continuous_calibration(self) -> bool:
+        return self._continuous
+
+    def _base_score(self, num_tokens: int, cached_tokens: int) -> float:
+        if self._estimator is None:
+            return JCTEstimator.proxy(num_tokens, cached_tokens)
+        return self._estimator.estimate(num_tokens, cached_tokens)
+
+    def on_submit(self, request: EngineRequest, kv: KVCacheManager, now: float) -> None:
+        request.initial_cached_tokens = kv.lookup(request.block_hashes)
+
+    def _calibrate(self, request: EngineRequest, kv: KVCacheManager) -> tuple[int, float]:
+        """Return (cached tokens, base score) for a request, memoised per cache version."""
+        if not self._continuous:
+            cached = request.initial_cached_tokens
+            return cached, self._base_score(request.num_tokens, cached)
+        version = kv.cache_version
+        memoised = request.calibration(version)
+        if memoised is not None:
+            return memoised
+        cached = kv.lookup(request.block_hashes)
+        score = self._base_score(request.num_tokens, cached)
+        request.store_calibration(version, cached, score)
+        return cached, score
+
+    def select(self, queue: list[EngineRequest], kv: KVCacheManager,
+               now: float) -> SchedulerDecision | None:
+        if not queue:
+            return None
+        best: SchedulerDecision | None = None
+        for request in queue:
+            cached, base = self._calibrate(request, kv)
+            score = base - self._lambda * request.queueing_time(now)
+            if (best is None or score < best.score
+                    or (score == best.score and request.request_id < best.request.request_id)):
+                best = SchedulerDecision(request=request, score=score, cached_tokens=cached)
+        return best
+
+
+def make_scheduler(policy: str, *, estimator: JCTEstimator | None = None,
+                   fairness_lambda: float = DEFAULT_FAIRNESS_LAMBDA) -> Scheduler:
+    """Build a scheduler by policy name.
+
+    Args:
+        policy: ``"fcfs"``, ``"srjf"`` (JCT at arrival time), or
+            ``"srjf-calibrated"`` (PrefillOnly's continuous calibration).
+        estimator: Optional fitted JCT model for the SRJF variants.
+        fairness_lambda: λ for the SRJF variants.
+    """
+    if policy == "fcfs":
+        return FCFSScheduler()
+    if policy == "srjf":
+        return SRJFScheduler(
+            estimator=estimator, fairness_lambda=fairness_lambda, continuous_calibration=False
+        )
+    if policy == "srjf-calibrated":
+        return SRJFScheduler(
+            estimator=estimator, fairness_lambda=fairness_lambda, continuous_calibration=True
+        )
+    raise SchedulingError(
+        f"unknown scheduling policy {policy!r}; expected 'fcfs', 'srjf', or 'srjf-calibrated'"
+    )

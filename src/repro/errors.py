@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError` so that
+applications embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An engine, model, or hardware configuration is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A request cannot be admitted because it exceeds the engine's capacity.
+
+    The most common cause is a request whose token count exceeds the engine's
+    maximum input length (MIL) for the configured hardware.
+    """
+
+    def __init__(self, message: str, *, required: int | None = None,
+                 available: int | None = None) -> None:
+        super().__init__(message)
+        self.required = required
+        self.available = available
+
+
+class AllocationError(ReproError):
+    """The KV-cache block allocator could not satisfy an allocation."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to do something inconsistent with its state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

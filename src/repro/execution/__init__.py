@@ -1,0 +1,46 @@
+"""Numerical execution substrate.
+
+The paper implements hybrid prefilling by rewriting the torch.compile graph of
+the model: consecutive position-wise (linear) operations are grouped into a
+virtual layer that is evaluated chunk-by-chunk, while attention runs over the
+whole sequence.  This package reproduces that machinery at a scale that runs on
+a CPU:
+
+* :mod:`repro.execution.memory_tracker` — an allocation ledger that records the
+  live-tensor byte count over time (the Figure 3 traces, at micro scale);
+* :mod:`repro.execution.tensor_graph` — a small computation-graph IR plus the
+  pass that groups chunkable operations into virtual layers;
+* :mod:`repro.execution.chunked_linear` — chunk-by-chunk evaluation of
+  position-wise functions with output preallocation and in-place reuse;
+* :mod:`repro.execution.numeric` — a NumPy micro-transformer whose full,
+  chunked, and hybrid prefill paths are numerically identical, which is the
+  correctness argument behind hybrid prefilling.
+"""
+
+from repro.execution.memory_tracker import MemoryTracker, MemorySample
+from repro.execution.tensor_graph import (
+    GraphNode,
+    OpKind,
+    ComputationGraph,
+    VirtualLayer,
+    build_transformer_graph,
+    group_chunkable_operations,
+)
+from repro.execution.chunked_linear import chunked_positionwise, ChunkedExecutionOptions
+from repro.execution.numeric import MicroTransformer, MicroTransformerConfig, PrefillResult
+
+__all__ = [
+    "MemoryTracker",
+    "MemorySample",
+    "GraphNode",
+    "OpKind",
+    "ComputationGraph",
+    "VirtualLayer",
+    "build_transformer_graph",
+    "group_chunkable_operations",
+    "chunked_positionwise",
+    "ChunkedExecutionOptions",
+    "MicroTransformer",
+    "MicroTransformerConfig",
+    "PrefillResult",
+]

@@ -1,0 +1,100 @@
+"""Allocation ledger used to reproduce the paper's GPU-memory-over-time traces.
+
+NumPy gives no hook into its allocator, so the executor registers every tensor
+it creates and releases with this tracker explicitly.  The tracker keeps the
+running live-byte total, the peak, and a trace of samples that the Figure 3
+benchmark plots (at micro-transformer scale) next to the analytical trace from
+:mod:`repro.model.memory` (at paper scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """One point of the allocation trace."""
+
+    step: int
+    label: str
+    live_bytes: int
+
+
+class MemoryTracker:
+    """Explicit allocation ledger.
+
+    Tensors are registered under a tag; registering the same tag twice replaces
+    the old allocation (convenient for loop-carried buffers).  The tracker can
+    also account for "phantom" bytes that exist conceptually (e.g. the KV cache
+    an engine would retain) without a backing array.
+    """
+
+    def __init__(self) -> None:
+        self._live: dict[str, int] = {}
+        self._trace: list[MemorySample] = []
+        self._step = 0
+        self._peak = 0
+
+    # -------------------------------------------------------------- recording
+
+    def allocate(self, tag: str, num_bytes: int) -> None:
+        """Record that ``num_bytes`` are now live under ``tag``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._live[tag] = num_bytes
+        self._sample(f"alloc:{tag}")
+
+    def allocate_array(self, tag: str, array: np.ndarray) -> np.ndarray:
+        """Register a NumPy array and return it (for fluent call sites)."""
+        self.allocate(tag, int(array.nbytes))
+        return array
+
+    def free(self, tag: str) -> None:
+        """Record that the allocation under ``tag`` has been released."""
+        if tag in self._live:
+            del self._live[tag]
+            self._sample(f"free:{tag}")
+
+    def free_matching(self, prefix: str) -> None:
+        """Release every allocation whose tag starts with ``prefix``."""
+        for tag in [t for t in self._live if t.startswith(prefix)]:
+            del self._live[tag]
+        self._sample(f"free:{prefix}*")
+
+    def _sample(self, label: str) -> None:
+        live = self.live_bytes
+        self._peak = max(self._peak, live)
+        self._trace.append(MemorySample(step=self._step, label=label, live_bytes=live))
+        self._step += 1
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently registered as live."""
+        return sum(self._live.values())
+
+    @property
+    def peak_bytes(self) -> int:
+        """Largest live-byte total observed so far."""
+        return self._peak
+
+    @property
+    def trace(self) -> list[MemorySample]:
+        """The full allocation trace in registration order."""
+        return list(self._trace)
+
+    def live_tags(self) -> Iterator[str]:
+        """Iterate over the tags of currently live allocations."""
+        return iter(self._live)
+
+    def reset(self) -> None:
+        """Clear all state (between runs)."""
+        self._live.clear()
+        self._trace.clear()
+        self._step = 0
+        self._peak = 0

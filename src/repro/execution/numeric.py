@@ -1,0 +1,324 @@
+"""NumPy micro-transformer used to validate hybrid prefilling numerically.
+
+The paper's correctness argument for hybrid prefilling is that non-attention
+layers map each token independently, so evaluating them chunk-by-chunk cannot
+change the result.  This module makes that argument executable: a small
+decoder-only transformer (grouped-query attention, RMSNorm, SwiGLU MLP — the
+same structure as the paper's models, at toy dimensions) whose three prefill
+paths
+
+* :meth:`MicroTransformer.prefill_full`   — whole sequence through every layer,
+* :meth:`MicroTransformer.prefill_chunked` — chunked prefilling (chunks through
+  the *whole* model, KV of all layers retained between chunks),
+* :meth:`MicroTransformer.prefill_hybrid` — hybrid prefilling (position-wise
+  layers chunked, attention whole, per-layer KV discarded after use),
+
+produce identical last-token logits while exhibiting the different peak-memory
+profiles the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.execution.chunked_linear import ChunkedExecutionOptions, chunked_positionwise
+from repro.execution.memory_tracker import MemoryTracker
+
+
+@dataclass(frozen=True)
+class MicroTransformerConfig:
+    """Architecture of the micro-transformer (toy-sized by default)."""
+
+    num_layers: int = 4
+    hidden_size: int = 64
+    num_heads: int = 8
+    num_kv_heads: int = 2
+    head_dim: int = 8
+    intermediate_size: int = 128
+    vocab_size: int = 512
+    rms_eps: float = 1e-6
+    dtype: type = np.float64
+
+    def __post_init__(self) -> None:
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigurationError("num_heads must be a multiple of num_kv_heads")
+        if self.num_heads * self.head_dim != self.hidden_size:
+            raise ConfigurationError("hidden_size must equal num_heads * head_dim")
+
+    @property
+    def q_dim(self) -> int:
+        return self.num_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        return self.num_kv_heads * self.head_dim
+
+
+@dataclass
+class PrefillResult:
+    """Outcome of one prefill pass."""
+
+    logits: np.ndarray
+    peak_bytes: int
+    tracker: MemoryTracker = field(repr=False, default_factory=MemoryTracker)
+
+    def constrained_probabilities(self, allowed_token_ids: list[int]) -> dict[int, float]:
+        """Softmax of the last-token logits restricted to ``allowed_token_ids``.
+
+        This is the prefill-only output contract of the paper's applications:
+        the engine samples only from a caller-provided list (e.g. "Yes"/"No")
+        and returns the probability of each, which the application uses as a
+        score.
+        """
+        if not allowed_token_ids:
+            raise ValueError("allowed_token_ids must not be empty")
+        selected = np.array([self.logits[token] for token in allowed_token_ids], dtype=np.float64)
+        selected -= selected.max()
+        weights = np.exp(selected)
+        probabilities = weights / weights.sum()
+        return {token: float(p) for token, p in zip(allowed_token_ids, probabilities)}
+
+
+class MicroTransformer:
+    """A small decoder-only transformer with deterministic random weights."""
+
+    def __init__(self, config: MicroTransformerConfig = MicroTransformerConfig(), *,
+                 seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        dtype = config.dtype
+        scale = 1.0 / np.sqrt(config.hidden_size)
+
+        def weight(*shape: int) -> np.ndarray:
+            return (rng.standard_normal(shape) * scale).astype(dtype)
+
+        self.embedding = weight(config.vocab_size, config.hidden_size)
+        self.lm_head = weight(config.hidden_size, config.vocab_size)
+        self.final_norm_gain = np.ones(config.hidden_size, dtype=dtype)
+        self.layers: list[dict[str, np.ndarray]] = []
+        for _ in range(config.num_layers):
+            self.layers.append({
+                "input_norm": np.ones(config.hidden_size, dtype=dtype),
+                "wq": weight(config.hidden_size, config.q_dim),
+                "wk": weight(config.hidden_size, config.kv_dim),
+                "wv": weight(config.hidden_size, config.kv_dim),
+                "wo": weight(config.q_dim, config.hidden_size),
+                "post_norm": np.ones(config.hidden_size, dtype=dtype),
+                "w_gate": weight(config.hidden_size, config.intermediate_size),
+                "w_up": weight(config.hidden_size, config.intermediate_size),
+                "w_down": weight(config.intermediate_size, config.hidden_size),
+            })
+
+    # ------------------------------------------------------------ primitives
+
+    def _rms_norm(self, x: np.ndarray, gain: np.ndarray) -> np.ndarray:
+        variance = np.mean(np.square(x), axis=-1, keepdims=True)
+        return x / np.sqrt(variance + self.config.rms_eps) * gain
+
+    @staticmethod
+    def _silu(x: np.ndarray) -> np.ndarray:
+        return x / (1.0 + np.exp(-x))
+
+    def _project_qkv(self, layer: dict[str, np.ndarray], hidden: np.ndarray) -> np.ndarray:
+        """Norm + fused QKV projection for a slice of token rows (position-wise)."""
+        normed = self._rms_norm(hidden, layer["input_norm"])
+        return np.concatenate(
+            [normed @ layer["wq"], normed @ layer["wk"], normed @ layer["wv"]], axis=-1
+        )
+
+    def _mlp_block(self, layer: dict[str, np.ndarray], hidden: np.ndarray) -> np.ndarray:
+        """Post-norm + SwiGLU MLP + residual for a slice of token rows (position-wise)."""
+        normed = self._rms_norm(hidden, layer["post_norm"])
+        gate = self._silu(normed @ layer["w_gate"])
+        up = normed @ layer["w_up"]
+        return hidden + (gate * up) @ layer["w_down"]
+
+    def _attention(self, qkv: np.ndarray, *, context_k: np.ndarray | None = None,
+                   context_v: np.ndarray | None = None,
+                   query_offset: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Causal grouped-query attention.
+
+        Args:
+            qkv: ``(n, q_dim + 2 * kv_dim)`` fused projections of the new tokens.
+            context_k / context_v: Optional cached keys / values (``(m, kv_dim)``)
+                that the new tokens may also attend to (chunked prefilling).
+            query_offset: Absolute position of the first new token, used for the
+                causal mask against the cached context.
+
+        Returns:
+            ``(attention_output, k_new, v_new)`` where the output has shape
+            ``(n, q_dim)`` and ``k_new`` / ``v_new`` are this call's keys/values
+            (so callers can decide whether to retain them).
+        """
+        config = self.config
+        n = qkv.shape[0]
+        q = qkv[:, :config.q_dim]
+        k_new = qkv[:, config.q_dim:config.q_dim + config.kv_dim]
+        v_new = qkv[:, config.q_dim + config.kv_dim:]
+
+        if context_k is not None and context_k.size:
+            k_all = np.concatenate([context_k, k_new], axis=0)
+            v_all = np.concatenate([context_v, v_new], axis=0)
+        else:
+            k_all = k_new
+            v_all = v_new
+        m = k_all.shape[0]
+
+        heads_per_kv = config.num_heads // config.num_kv_heads
+        q_heads = q.reshape(n, config.num_heads, config.head_dim)
+        k_heads = k_all.reshape(m, config.num_kv_heads, config.head_dim)
+        v_heads = v_all.reshape(m, config.num_kv_heads, config.head_dim)
+
+        # Causal mask: new token i (absolute position query_offset + i) may
+        # attend to absolute positions <= query_offset + i.
+        positions = np.arange(m)
+        query_positions = query_offset + np.arange(n)
+        mask = positions[None, :] <= query_positions[:, None]
+
+        output = np.empty((n, config.num_heads, config.head_dim), dtype=qkv.dtype)
+        inv_sqrt_d = 1.0 / np.sqrt(config.head_dim)
+        for head in range(config.num_heads):
+            kv_head = head // heads_per_kv
+            scores = (q_heads[:, head, :] @ k_heads[:, kv_head, :].T) * inv_sqrt_d
+            scores = np.where(mask, scores, -np.inf)
+            scores -= scores.max(axis=-1, keepdims=True)
+            weights = np.exp(scores)
+            weights /= weights.sum(axis=-1, keepdims=True)
+            output[:, head, :] = weights @ v_heads[:, kv_head, :]
+        return output.reshape(n, config.q_dim), k_new, v_new
+
+    def _finalize(self, hidden_last: np.ndarray) -> np.ndarray:
+        normed = self._rms_norm(hidden_last, self.final_norm_gain)
+        return normed @ self.lm_head
+
+    # ---------------------------------------------------------- prefill paths
+
+    def prefill_full(self, token_ids: list[int] | np.ndarray) -> PrefillResult:
+        """Vanilla prefilling: whole sequence, every layer, all KV retained."""
+        tokens = np.asarray(token_ids, dtype=np.int64)
+        tracker = MemoryTracker()
+        hidden = self.embedding[tokens]
+        tracker.allocate("residual", int(hidden.nbytes))
+        kv_bytes_per_layer = 0
+        for index, layer in enumerate(self.layers):
+            qkv = self._project_qkv(layer, hidden)
+            tracker.allocate("qkv", int(qkv.nbytes))
+            attn_out, k_new, v_new = self._attention(qkv)
+            kv_bytes_per_layer = int(k_new.nbytes + v_new.nbytes)
+            tracker.allocate(f"kv.layer{index}", kv_bytes_per_layer)
+            tracker.allocate("attn_out", int(attn_out.nbytes))
+            hidden = hidden + attn_out @ layer["wo"]
+            tracker.free("qkv")
+            tracker.free("attn_out")
+            normed = self._rms_norm(hidden, layer["post_norm"])
+            gate_up = np.concatenate(
+                [self._silu(normed @ layer["w_gate"]), normed @ layer["w_up"]], axis=-1
+            )
+            tracker.allocate("mlp.gate_up", int(gate_up.nbytes))
+            inter = gate_up[:, :self.config.intermediate_size] * gate_up[:, self.config.intermediate_size:]
+            tracker.allocate("mlp.inter", int(inter.nbytes))
+            hidden = hidden + inter @ layer["w_down"]
+            tracker.free("mlp.gate_up")
+            tracker.free("mlp.inter")
+        logits = self._finalize(hidden[-1])
+        return PrefillResult(logits=logits, peak_bytes=tracker.peak_bytes, tracker=tracker)
+
+    def prefill_chunked(self, token_ids: list[int] | np.ndarray, *, chunk_tokens: int = 64) -> PrefillResult:
+        """Chunked prefilling: chunks flow through the whole model, all KV kept."""
+        if chunk_tokens <= 0:
+            raise ValueError("chunk_tokens must be positive")
+        tokens = np.asarray(token_ids, dtype=np.int64)
+        tracker = MemoryTracker()
+        num_tokens = len(tokens)
+        k_cache: list[np.ndarray] = [
+            np.empty((0, self.config.kv_dim), dtype=self.config.dtype) for _ in self.layers
+        ]
+        v_cache: list[np.ndarray] = [
+            np.empty((0, self.config.kv_dim), dtype=self.config.dtype) for _ in self.layers
+        ]
+        last_hidden: np.ndarray | None = None
+        for start in range(0, num_tokens, chunk_tokens):
+            end = min(start + chunk_tokens, num_tokens)
+            hidden = self.embedding[tokens[start:end]]
+            tracker.allocate("residual.chunk", int(hidden.nbytes))
+            for index, layer in enumerate(self.layers):
+                qkv = self._project_qkv(layer, hidden)
+                tracker.allocate("qkv.chunk", int(qkv.nbytes))
+                attn_out, k_new, v_new = self._attention(
+                    qkv, context_k=k_cache[index], context_v=v_cache[index], query_offset=start,
+                )
+                k_cache[index] = np.concatenate([k_cache[index], k_new], axis=0)
+                v_cache[index] = np.concatenate([v_cache[index], v_new], axis=0)
+                tracker.allocate(
+                    f"kv.layer{index}", int(k_cache[index].nbytes + v_cache[index].nbytes)
+                )
+                hidden = hidden + attn_out @ layer["wo"]
+                tracker.free("qkv.chunk")
+                hidden = self._mlp_block(layer, hidden)
+                tracker.allocate("mlp.chunk", int(hidden.nbytes * 2 * self.config.intermediate_size / self.config.hidden_size))
+                tracker.free("mlp.chunk")
+            last_hidden = hidden
+            tracker.free("residual.chunk")
+        assert last_hidden is not None
+        logits = self._finalize(last_hidden[-1])
+        return PrefillResult(logits=logits, peak_bytes=tracker.peak_bytes, tracker=tracker)
+
+    def prefill_hybrid(self, token_ids: list[int] | np.ndarray, *,
+                       options: ChunkedExecutionOptions = ChunkedExecutionOptions(chunk_tokens=64),
+                       retain_kv: bool = False) -> PrefillResult:
+        """Hybrid prefilling: position-wise layers chunked, attention whole.
+
+        Args:
+            token_ids: Input token ids.
+            options: Chunk size and the output-preallocation / in-place switches
+                (the Figure 10 ablation knobs).
+            retain_kv: When False (the paper's default for prefill-only
+                requests), each layer's K/V is released as soon as the layer's
+                attention finishes; when True the KV of every layer is kept, as
+                an engine would do to populate a prefix cache.
+        """
+        tokens = np.asarray(token_ids, dtype=np.int64)
+        tracker = MemoryTracker()
+        hidden = self.embedding[tokens]
+        tracker.allocate("residual", int(hidden.nbytes))
+
+        for index, layer in enumerate(self.layers):
+            qkv = chunked_positionwise(
+                lambda rows, layer=layer: self._project_qkv(layer, rows),
+                hidden,
+                self.config.q_dim + 2 * self.config.kv_dim,
+                options=ChunkedExecutionOptions(
+                    chunk_tokens=options.chunk_tokens,
+                    preallocate_output=options.preallocate_output,
+                    inplace_when_possible=False,  # width changes, never in-place
+                ),
+                tracker=tracker,
+                tag=f"layer{index}.qkv",
+            )
+            attn_out, k_new, v_new = self._attention(qkv)
+            tracker.allocate("kv.current_layer", int(k_new.nbytes + v_new.nbytes))
+            if retain_kv:
+                tracker.allocate(f"kv.layer{index}", int(k_new.nbytes + v_new.nbytes))
+            tracker.free(f"layer{index}.qkv.output")
+            tracker.allocate("attn_out", int(attn_out.nbytes))
+
+            # Residual add + MLP, evaluated chunk-by-chunk in place over hidden.
+            chunk = options.chunk_tokens
+            for start in range(0, hidden.shape[0], chunk):
+                end = min(start + chunk, hidden.shape[0])
+                partial = hidden[start:end] + attn_out[start:end] @ layer["wo"]
+                hidden[start:end] = self._mlp_block(layer, partial)
+                tracker.allocate(
+                    "mlp.chunk",
+                    int((end - start) * 2 * self.config.intermediate_size
+                        * np.dtype(self.config.dtype).itemsize),
+                )
+                tracker.free("mlp.chunk")
+            tracker.free("attn_out")
+            tracker.free("kv.current_layer")
+
+        logits = self._finalize(hidden[-1])
+        return PrefillResult(logits=logits, peak_bytes=tracker.peak_bytes, tracker=tracker)

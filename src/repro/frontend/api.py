@@ -1,0 +1,161 @@
+"""Request/response schema of the prefill-only serving API.
+
+A prefill-only deployment only needs a small subset of the OpenAI completions
+API: a prompt, a user identifier (for user-id routing), and the list of
+acceptable output tokens the engine may sample from (§2.3's "pass a list of
+acceptable tokens to the LLM engine").  ``max_tokens`` is accepted for protocol
+compatibility but must be 1 — that is the definition of the workload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class APIValidationError(ReproError):
+    """The request payload violates the prefill-only API contract."""
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """One prefill-only completion request.
+
+    Attributes:
+        prompt: The full prompt text.
+        allowed_outputs: Output vocabulary the engine may sample from, e.g.
+            ``("Yes", "No")``.  Must contain at least two options.
+        user: Caller-provided user identifier, used for user-id routing and for
+            prefix-cache affinity.
+        model: Model name (informational; the deployment serves one model).
+        max_tokens: Must be 1 (prefill-only).
+        request_id: Optional caller-assigned identifier echoed in the response.
+    """
+
+    prompt: str
+    allowed_outputs: tuple[str, ...] = ("Yes", "No")
+    user: str = "default"
+    model: str = "prefillonly"
+    max_tokens: int = 1
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.prompt:
+            raise APIValidationError("prompt must not be empty")
+        if self.max_tokens != 1:
+            raise APIValidationError(
+                f"prefill-only requests generate exactly one token, got max_tokens={self.max_tokens}"
+            )
+        if len(self.allowed_outputs) < 2:
+            raise APIValidationError("allowed_outputs needs at least two options")
+        if len(set(self.allowed_outputs)) != len(self.allowed_outputs):
+            raise APIValidationError("allowed_outputs must not contain duplicates")
+
+
+def parse_completion_request(payload: dict) -> CompletionRequest:
+    """Parse a JSON-style payload into a :class:`CompletionRequest`.
+
+    Accepts both this API's native field names and the closest OpenAI
+    equivalents (``allowed_outputs`` may also arrive as ``logit_bias_tokens``).
+    """
+    if not isinstance(payload, dict):
+        raise APIValidationError("request payload must be a JSON object")
+    unknown = set(payload) - {
+        "prompt", "allowed_outputs", "logit_bias_tokens", "user", "model",
+        "max_tokens", "request_id",
+    }
+    if unknown:
+        raise APIValidationError(f"unknown fields in request payload: {sorted(unknown)}")
+    allowed = payload.get("allowed_outputs", payload.get("logit_bias_tokens", ("Yes", "No")))
+    if isinstance(allowed, list):
+        allowed = tuple(allowed)
+    return CompletionRequest(
+        prompt=payload.get("prompt", ""),
+        allowed_outputs=allowed,
+        user=payload.get("user", "default"),
+        model=payload.get("model", "prefillonly"),
+        max_tokens=payload.get("max_tokens", 1),
+        request_id=payload.get("request_id"),
+    )
+
+
+@dataclass(frozen=True)
+class TokenProbability:
+    """Probability of one allowed output token."""
+
+    token: str
+    probability: float
+
+
+@dataclass(frozen=True)
+class UsageInfo:
+    """Token accounting of one request (OpenAI ``usage`` block)."""
+
+    prompt_tokens: int
+    completion_tokens: int = 1
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class CompletionChoice:
+    """The single choice of a prefill-only completion."""
+
+    text: str
+    probabilities: tuple[TokenProbability, ...]
+    finish_reason: str = "stop"
+
+    def probability_of(self, token: str) -> float:
+        for entry in self.probabilities:
+            if entry.token == token:
+                return entry.probability
+        raise KeyError(f"token {token!r} was not among the allowed outputs")
+
+
+@dataclass(frozen=True)
+class CompletionResponse:
+    """OpenAI-shaped response of one prefill-only completion."""
+
+    request_id: str
+    model: str
+    choice: CompletionChoice
+    usage: UsageInfo
+    cached_prompt_tokens: int = 0
+    latency_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dict (the HTTP body)."""
+        return {
+            "id": self.request_id,
+            "object": "text_completion",
+            "model": self.model,
+            "choices": [{
+                "index": 0,
+                "text": self.choice.text,
+                "finish_reason": self.choice.finish_reason,
+                "logprobs": {
+                    "top_logprobs": [{
+                        entry.token: entry.probability
+                        for entry in self.choice.probabilities
+                    }],
+                },
+            }],
+            "usage": {
+                "prompt_tokens": self.usage.prompt_tokens,
+                "completion_tokens": self.usage.completion_tokens,
+                "total_tokens": self.usage.total_tokens,
+            },
+            "prefillonly": {
+                "cached_prompt_tokens": self.cached_prompt_tokens,
+                "latency_seconds": round(self.latency_seconds, 6),
+            },
+        }
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)

@@ -1,0 +1,113 @@
+"""Frontend-to-scheduler message boundary (the ZeroMQ stand-in).
+
+In the paper, the HTTP frontend tokenizes each request and ships it to the
+scheduler process over ZeroMQ; the score travels back the same way.  The exact
+transport is irrelevant to the system's behaviour, but the *boundary* matters:
+whatever crosses it must be serialisable, and the scheduler only ever sees
+token ids (never prompt text).  This module encodes that boundary as two
+dataclasses with dict round-tripping, plus a minimal in-process channel used by
+the frontend and exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class RPCError(ReproError):
+    """A message could not be encoded, decoded, or delivered."""
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Frontend -> scheduler: a tokenized prefill-only request."""
+
+    request_id: str
+    user_id: str
+    token_ids: tuple[int, ...]
+    allowed_outputs: tuple[str, ...]
+    arrival_time: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "submit",
+            "request_id": self.request_id,
+            "user_id": self.user_id,
+            "token_ids": list(self.token_ids),
+            "allowed_outputs": list(self.allowed_outputs),
+            "arrival_time": self.arrival_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SubmitRequest":
+        if payload.get("type") != "submit":
+            raise RPCError(f"expected a submit message, got {payload.get('type')!r}")
+        return cls(
+            request_id=payload["request_id"],
+            user_id=payload["user_id"],
+            token_ids=tuple(payload["token_ids"]),
+            allowed_outputs=tuple(payload["allowed_outputs"]),
+            arrival_time=payload.get("arrival_time", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class ScoreReply:
+    """Scheduler -> frontend: the prefill-only probability scores."""
+
+    request_id: str
+    probabilities: tuple[tuple[str, float], ...]
+    prompt_tokens: int
+    cached_prompt_tokens: int = 0
+    latency_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "score",
+            "request_id": self.request_id,
+            "probabilities": [[token, probability] for token, probability in self.probabilities],
+            "prompt_tokens": self.prompt_tokens,
+            "cached_prompt_tokens": self.cached_prompt_tokens,
+            "latency_seconds": self.latency_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScoreReply":
+        if payload.get("type") != "score":
+            raise RPCError(f"expected a score message, got {payload.get('type')!r}")
+        return cls(
+            request_id=payload["request_id"],
+            probabilities=tuple((token, float(p)) for token, p in payload["probabilities"]),
+            prompt_tokens=int(payload["prompt_tokens"]),
+            cached_prompt_tokens=int(payload.get("cached_prompt_tokens", 0)),
+            latency_seconds=float(payload.get("latency_seconds", 0.0)),
+        )
+
+
+@dataclass
+class InProcessChannel:
+    """A FIFO message channel standing in for the ZeroMQ socket pair.
+
+    Messages are stored as plain dicts (forcing both sides through the
+    serialisation boundary), delivered in order, and counted.
+    """
+
+    _queue: deque = field(default_factory=deque)
+    sent: int = 0
+    received: int = 0
+
+    def send(self, message: SubmitRequest | ScoreReply) -> None:
+        self._queue.append(message.to_dict())
+        self.sent += 1
+
+    def receive(self) -> dict:
+        if not self._queue:
+            raise RPCError("receive() on an empty channel")
+        self.received += 1
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)

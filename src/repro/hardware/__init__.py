@@ -1,0 +1,32 @@
+"""Hardware substrate: GPU specifications, interconnects, and cluster descriptions.
+
+The paper evaluates on 2x NVIDIA L4, 2x A100 40GB PCIe, and 2x H100 80GB with
+and without NVLink.  This package models those devices with their published
+memory capacity, memory bandwidth, compute throughput, and interconnect
+bandwidth, which is all the serving simulator needs to reproduce the paper's
+latency / throughput / capacity trade-offs.
+"""
+
+from repro.hardware.gpu import GPUSpec, GPU_REGISTRY, get_gpu, list_gpus, L4, A100_40GB, H100_80GB
+from repro.hardware.interconnect import Interconnect, PCIE_GEN4, NVLINK, allreduce_time, point_to_point_time
+from repro.hardware.cluster import ClusterSpec, HardwareSetup, HARDWARE_SETUPS, get_hardware_setup, list_hardware_setups
+
+__all__ = [
+    "GPUSpec",
+    "GPU_REGISTRY",
+    "get_gpu",
+    "list_gpus",
+    "L4",
+    "A100_40GB",
+    "H100_80GB",
+    "Interconnect",
+    "PCIE_GEN4",
+    "NVLINK",
+    "allreduce_time",
+    "point_to_point_time",
+    "ClusterSpec",
+    "HardwareSetup",
+    "HARDWARE_SETUPS",
+    "get_hardware_setup",
+    "list_hardware_setups",
+]

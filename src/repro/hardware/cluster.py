@@ -1,0 +1,121 @@
+"""Cluster descriptions: how many GPUs of what kind, connected how.
+
+A :class:`ClusterSpec` is the hardware half of an experiment configuration.
+The four :class:`HardwareSetup` records mirror Table 3 of the paper, pairing
+each cluster with the LLM model evaluated on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GPUSpec, A100_40GB, H100_80GB, L4, get_gpu
+from repro.hardware.interconnect import Interconnect, NVLINK, PCIE_GEN4, get_interconnect
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous group of GPUs available to one experiment.
+
+    Attributes:
+        gpu: Device specification of every GPU in the cluster.
+        num_gpus: Number of GPUs.
+        interconnect: GPU-to-GPU link used for tensor/pipeline parallelism.
+    """
+
+    gpu: GPUSpec
+    num_gpus: int
+    interconnect: Interconnect
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError("a cluster needs at least one GPU")
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Aggregate GPU memory across the cluster."""
+        return self.gpu.memory_bytes * self.num_gpus
+
+    def describe(self) -> dict:
+        return {
+            "gpu": self.gpu.display_name,
+            "num_gpus": self.num_gpus,
+            "interconnect": self.interconnect.name,
+            "total_memory_gib": round(self.total_memory_bytes / (1 << 30), 1),
+        }
+
+
+@dataclass(frozen=True)
+class HardwareSetup:
+    """One row of the paper's Table 3: a cluster plus the model served on it.
+
+    Attributes:
+        name: Registry key, e.g. ``"h100-nvlink"``.
+        scenario: Human-readable scenario label from the paper.
+        cluster: The GPUs.
+        model_name: Name of the model (resolved via ``repro.model.get_model``).
+    """
+
+    name: str
+    scenario: str
+    cluster: ClusterSpec
+    model_name: str
+
+    def describe(self) -> dict:
+        summary = self.cluster.describe()
+        summary.update({"setup": self.name, "scenario": self.scenario, "model": self.model_name})
+        return summary
+
+
+def make_cluster(gpu_name: str, num_gpus: int = 2, interconnect_name: str = "pcie-gen4") -> ClusterSpec:
+    """Convenience constructor resolving GPU and interconnect by name."""
+    return ClusterSpec(
+        gpu=get_gpu(gpu_name),
+        num_gpus=num_gpus,
+        interconnect=get_interconnect(interconnect_name),
+    )
+
+
+HARDWARE_SETUPS: dict[str, HardwareSetup] = {
+    "l4": HardwareSetup(
+        name="l4",
+        scenario="Low-end GPU",
+        cluster=ClusterSpec(gpu=L4, num_gpus=2, interconnect=PCIE_GEN4),
+        model_name="llama-3.1-8b",
+    ),
+    "a100": HardwareSetup(
+        name="a100",
+        scenario="Middle-end GPU",
+        cluster=ClusterSpec(gpu=A100_40GB, num_gpus=2, interconnect=PCIE_GEN4),
+        model_name="qwen-32b-fp8",
+    ),
+    "h100": HardwareSetup(
+        name="h100",
+        scenario="High-end GPU",
+        cluster=ClusterSpec(gpu=H100_80GB, num_gpus=2, interconnect=PCIE_GEN4),
+        model_name="llama-3.3-70b-fp8",
+    ),
+    "h100-nvlink": HardwareSetup(
+        name="h100-nvlink",
+        scenario="High-end GPU w/ NVLink",
+        cluster=ClusterSpec(gpu=H100_80GB, num_gpus=2, interconnect=NVLINK),
+        model_name="llama-3.3-70b-fp8",
+    ),
+}
+
+
+def get_hardware_setup(name: str) -> HardwareSetup:
+    """Look up one of the paper's hardware setups by name."""
+    try:
+        return HARDWARE_SETUPS[name]
+    except KeyError:
+        known = ", ".join(sorted(HARDWARE_SETUPS))
+        raise ConfigurationError(
+            f"unknown hardware setup {name!r}; known setups: {known}"
+        ) from None
+
+
+def list_hardware_setups() -> list[str]:
+    """Return the hardware setup names in the order the paper presents them."""
+    return ["l4", "a100", "h100", "h100-nvlink"]

@@ -1,0 +1,121 @@
+"""GPU device specifications.
+
+Each :class:`GPUSpec` carries the published numbers for the devices used in the
+paper's evaluation (Table 3): memory capacity, memory bandwidth, and dense
+matmul throughput for 16-bit and 8-bit operands.  The ``model_flops_utilization``
+field is the sustained fraction of peak throughput a well-tuned inference
+engine achieves on large prefills; it is the only calibration constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gbps, gib, tflops
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of a single GPU device.
+
+    Attributes:
+        name: Registry key (``"l4"``, ``"a100-40gb"``, ``"h100-80gb"``).
+        display_name: Marketing name used in reports.
+        memory_bytes: HBM/GDDR capacity in bytes.
+        memory_bandwidth: Sustained memory bandwidth in bytes/s.
+        bf16_flops: Dense bf16 throughput in FLOP/s (no sparsity).
+        fp8_flops: Dense fp8 throughput in FLOP/s (no sparsity).
+        model_flops_utilization: Fraction of peak sustained during prefill.
+        kernel_launch_overhead: Fixed per-forward-pass overhead in seconds.
+    """
+
+    name: str
+    display_name: str
+    memory_bytes: int
+    memory_bandwidth: float
+    bf16_flops: float
+    fp8_flops: float
+    model_flops_utilization: float = 0.55
+    kernel_launch_overhead: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(f"GPU {self.name!r} has non-positive memory")
+        if not 0.0 < self.model_flops_utilization <= 1.0:
+            raise ConfigurationError(
+                f"GPU {self.name!r}: model_flops_utilization must be in (0, 1]"
+            )
+
+    def matmul_flops(self, bytes_per_weight: float) -> float:
+        """Peak dense throughput for the given weight precision.
+
+        Models quantised (FP8) weights as using the FP8 tensor-core path and
+        16-bit weights as using the bf16 path.
+        """
+        return self.fp8_flops if bytes_per_weight <= 1.0 else self.bf16_flops
+
+    def sustained_flops(self, bytes_per_weight: float) -> float:
+        """Sustained throughput after applying the utilisation factor."""
+        return self.matmul_flops(bytes_per_weight) * self.model_flops_utilization
+
+    def describe(self) -> dict:
+        """Plain-dict summary used by reports and the CLI."""
+        return {
+            "name": self.name,
+            "display_name": self.display_name,
+            "memory_gib": round(self.memory_bytes / (1 << 30), 1),
+            "memory_bandwidth_gbps": round(self.memory_bandwidth / 1e9, 1),
+            "bf16_tflops": round(self.bf16_flops / 1e12, 1),
+            "fp8_tflops": round(self.fp8_flops / 1e12, 1),
+        }
+
+
+L4 = GPUSpec(
+    name="l4",
+    display_name="NVIDIA L4 (24 GB)",
+    memory_bytes=gib(24),
+    memory_bandwidth=gbps(300),
+    bf16_flops=tflops(121),
+    fp8_flops=tflops(242),
+)
+
+A100_40GB = GPUSpec(
+    name="a100-40gb",
+    display_name="NVIDIA A100 PCIe (40 GB)",
+    memory_bytes=gib(40),
+    memory_bandwidth=gbps(1555),
+    bf16_flops=tflops(312),
+    # A100 has no FP8 tensor cores; FP8-quantised weights are upcast and run at
+    # the INT8/bf16 rate, so reuse the bf16 number.
+    fp8_flops=tflops(312),
+)
+
+H100_80GB = GPUSpec(
+    name="h100-80gb",
+    display_name="NVIDIA H100 PCIe (80 GB)",
+    memory_bytes=gib(80),
+    memory_bandwidth=gbps(2000),
+    bf16_flops=tflops(756),
+    fp8_flops=tflops(1513),
+)
+
+GPU_REGISTRY: dict[str, GPUSpec] = {gpu.name: gpu for gpu in (L4, A100_40GB, H100_80GB)}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a registered GPU by name.
+
+    Raises:
+        ConfigurationError: if the name is not registered.
+    """
+    try:
+        return GPU_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_REGISTRY))
+        raise ConfigurationError(f"unknown GPU {name!r}; known GPUs: {known}") from None
+
+
+def list_gpus() -> list[str]:
+    """Return the registered GPU names in sorted order."""
+    return sorted(GPU_REGISTRY)

@@ -1,0 +1,76 @@
+"""Inter-GPU interconnect model.
+
+Tensor parallelism spends a significant fraction of every layer in all-reduce
+communication; pipeline parallelism moves activations point-to-point between
+stages.  The paper's H100 results with and without NVLink (Figure 8) hinge on
+exactly this cost, so the interconnect is modelled explicitly: a per-message
+latency plus a bandwidth term, with the standard ring all-reduce volume factor
+``2 * (n - 1) / n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gbps
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A GPU-to-GPU link.
+
+    Attributes:
+        name: Registry key (``"pcie-gen4"``, ``"nvlink"``).
+        bandwidth: Effective unidirectional bandwidth in bytes/s.
+        latency: Per-message latency in seconds.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"interconnect {self.name!r} has non-positive bandwidth")
+        if self.latency < 0:
+            raise ConfigurationError(f"interconnect {self.name!r} has negative latency")
+
+
+PCIE_GEN4 = Interconnect(name="pcie-gen4", bandwidth=gbps(25), latency=10e-6)
+NVLINK = Interconnect(name="nvlink", bandwidth=gbps(450), latency=3e-6)
+
+INTERCONNECT_REGISTRY: dict[str, Interconnect] = {
+    link.name: link for link in (PCIE_GEN4, NVLINK)
+}
+
+
+def get_interconnect(name: str) -> Interconnect:
+    """Look up a registered interconnect by name."""
+    try:
+        return INTERCONNECT_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(INTERCONNECT_REGISTRY))
+        raise ConfigurationError(
+            f"unknown interconnect {name!r}; known interconnects: {known}"
+        ) from None
+
+
+def allreduce_time(message_bytes: float, num_gpus: int, link: Interconnect) -> float:
+    """Time for one ring all-reduce of ``message_bytes`` across ``num_gpus``.
+
+    Uses the classic ring model: each GPU sends ``2 * (n - 1) / n`` times the
+    message size, in ``2 * (n - 1)`` latency-bound steps.
+    """
+    if num_gpus < 1:
+        raise ConfigurationError("allreduce requires at least one GPU")
+    if num_gpus == 1:
+        return 0.0
+    volume = 2.0 * (num_gpus - 1) / num_gpus * message_bytes
+    steps = 2 * (num_gpus - 1)
+    return volume / link.bandwidth + steps * link.latency
+
+
+def point_to_point_time(message_bytes: float, link: Interconnect) -> float:
+    """Time to move ``message_bytes`` over one point-to-point link."""
+    return message_bytes / link.bandwidth + link.latency

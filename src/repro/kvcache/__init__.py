@@ -1,0 +1,29 @@
+"""KV-cache substrate: paged block allocation, prefix caching, eviction, offload.
+
+This package reproduces the storage layer that both PrefillOnly and the
+baselines schedule against: a block (page) allocator in the spirit of
+PagedAttention, a radix-tree prefix cache with LRU eviction in the spirit of
+vLLM's automatic prefix caching, an optional CPU offload store, and a manager
+that ties them together and exposes the operations engines need (lookup,
+reserve-for-execution, commit, discard suffix).
+"""
+
+from repro.kvcache.block import Block, BlockId, hash_token_blocks, hash_chain
+from repro.kvcache.allocator import BlockAllocator
+from repro.kvcache.prefix_tree import RadixPrefixCache, PrefixMatch
+from repro.kvcache.offload import CPUOffloadStore
+from repro.kvcache.manager import KVCacheManager, CommitPolicy, CacheStats
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "hash_token_blocks",
+    "hash_chain",
+    "BlockAllocator",
+    "RadixPrefixCache",
+    "PrefixMatch",
+    "CPUOffloadStore",
+    "KVCacheManager",
+    "CommitPolicy",
+    "CacheStats",
+]

@@ -1,0 +1,101 @@
+"""KV-cache blocks and content hashing.
+
+The KV cache is managed at the granularity of fixed-size blocks of tokens
+(pages).  A block is identified for *allocation* purposes by a :class:`BlockId`
+and for *prefix matching* purposes by a content hash that chains the hash of
+the previous block with the tokens stored in this block — the same scheme
+vLLM's automatic prefix caching uses, which guarantees that two requests map to
+the same cached block only if they agree on the entire prefix up to and
+including that block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+BlockId = int
+
+#: Hash value used for the empty prefix (the root of every hash chain).
+ROOT_HASH = 0
+
+
+def hash_chain(parent_hash: int, content: tuple) -> int:
+    """Chain ``content`` onto ``parent_hash`` to produce a block content hash."""
+    return hash((parent_hash, content))
+
+
+def hash_token_blocks(tokens: Sequence[int], block_size: int) -> list[int]:
+    """Split ``tokens`` into full blocks and return the chained content hashes.
+
+    Only *full* blocks are hashed (a trailing partial block cannot be shared
+    with another request, so it never enters the prefix cache).
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    hashes: list[int] = []
+    parent = ROOT_HASH
+    for start in range(0, len(tokens) - block_size + 1, block_size):
+        content = tuple(tokens[start:start + block_size])
+        parent = hash_chain(parent, content)
+        hashes.append(parent)
+    return hashes
+
+
+@dataclass
+class Block:
+    """One physical KV-cache block (page).
+
+    Attributes:
+        block_id: Physical block identifier assigned by the allocator.
+        content_hash: Chained content hash if the block holds cached prefix
+            data, ``None`` for scratch blocks reserved during execution.
+        num_tokens: Number of tokens stored in the block.
+        ref_count: Number of in-flight requests currently pinning the block.
+        last_access: Logical timestamp of the most recent use (for LRU).
+    """
+
+    block_id: BlockId
+    content_hash: int | None = None
+    num_tokens: int = 0
+    ref_count: int = 0
+    last_access: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def is_pinned(self) -> bool:
+        """True while at least one running request still needs this block."""
+        return self.ref_count > 0
+
+    def touch(self, now: float) -> None:
+        """Record an access for LRU bookkeeping."""
+        if now >= self.last_access:
+            self.last_access = now
+
+    def pin(self) -> None:
+        self.ref_count += 1
+
+    def unpin(self) -> None:
+        if self.ref_count <= 0:
+            raise ValueError(f"block {self.block_id} unpinned more times than pinned")
+        self.ref_count -= 1
+
+
+def count_full_blocks(num_tokens: int, block_size: int) -> int:
+    """Number of completely filled blocks needed to store ``num_tokens``."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return num_tokens // block_size
+
+
+def count_blocks(num_tokens: int, block_size: int) -> int:
+    """Number of blocks (including a trailing partial one) for ``num_tokens``."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return -(-num_tokens // block_size)
+
+
+def iter_block_slices(num_tokens: int, block_size: int) -> Iterable[tuple[int, int]]:
+    """Yield ``(start, end)`` token ranges for each block of a request."""
+    for start in range(0, num_tokens, block_size):
+        yield start, min(start + block_size, num_tokens)

@@ -1,0 +1,127 @@
+"""CPU offload store for KV caches.
+
+The paper's default configuration *discards* suffix KV caches, but §9 notes the
+alternative of offloading them to CPU memory (LMCache-style).  This module
+provides that alternative so the engine can be configured either way and so the
+ablation benchmarks can compare the two.
+
+The store is a flat LRU keyed by block content hash, with a byte budget and a
+modelled PCIe transfer cost so the serving simulator can charge load/save time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.interconnect import Interconnect, PCIE_GEN4
+
+
+@dataclass(frozen=True)
+class OffloadStats:
+    """Cumulative counters of the offload store."""
+
+    stored_blocks: int
+    loaded_blocks: int
+    evicted_blocks: int
+    current_blocks: int
+    current_bytes: int
+
+
+class CPUOffloadStore:
+    """LRU store of KV blocks in host memory.
+
+    Args:
+        capacity_bytes: Host-memory budget for offloaded KV blocks.
+        block_bytes: Size of one KV block in bytes.
+        link: Host-device link used to charge transfer time.
+    """
+
+    def __init__(self, capacity_bytes: int, block_bytes: int,
+                 link: Interconnect = PCIE_GEN4) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self._capacity_bytes = capacity_bytes
+        self._block_bytes = block_bytes
+        self._link = link
+        self._blocks: OrderedDict[int, int] = OrderedDict()
+        self._stored = 0
+        self._loaded = 0
+        self._evicted = 0
+
+    @property
+    def capacity_blocks(self) -> int:
+        """How many blocks fit in the host budget."""
+        return self._capacity_bytes // self._block_bytes
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks currently stored."""
+        return len(self._blocks)
+
+    @property
+    def stats(self) -> OffloadStats:
+        return OffloadStats(
+            stored_blocks=self._stored,
+            loaded_blocks=self._loaded,
+            evicted_blocks=self._evicted,
+            current_blocks=len(self._blocks),
+            current_bytes=len(self._blocks) * self._block_bytes,
+        )
+
+    def __contains__(self, content_hash: int) -> bool:
+        return content_hash in self._blocks
+
+    # ------------------------------------------------------------------ I/O
+
+    def store(self, block_hashes: Sequence[int]) -> float:
+        """Offload blocks to host memory; return the modelled transfer time.
+
+        Already-present blocks are refreshed (moved to MRU) at no cost.
+        """
+        transferred = 0
+        for content_hash in block_hashes:
+            if content_hash in self._blocks:
+                self._blocks.move_to_end(content_hash)
+                continue
+            while len(self._blocks) >= max(self.capacity_blocks, 0) and self._blocks:
+                self._blocks.popitem(last=False)
+                self._evicted += 1
+            if self.capacity_blocks == 0:
+                break
+            self._blocks[content_hash] = self._block_bytes
+            self._stored += 1
+            transferred += 1
+        return self._transfer_time(transferred)
+
+    def load(self, block_hashes: Sequence[int]) -> tuple[int, float]:
+        """Bring the longest stored prefix back; return (blocks loaded, time)."""
+        loaded = 0
+        for content_hash in block_hashes:
+            if content_hash not in self._blocks:
+                break
+            self._blocks.move_to_end(content_hash)
+            loaded += 1
+        self._loaded += loaded
+        return loaded, self._transfer_time(loaded)
+
+    def match_length(self, block_hashes: Sequence[int]) -> int:
+        """Length (in blocks) of the stored prefix of ``block_hashes``."""
+        count = 0
+        for content_hash in block_hashes:
+            if content_hash not in self._blocks:
+                break
+            count += 1
+        return count
+
+    def _transfer_time(self, num_blocks: int) -> float:
+        if num_blocks == 0:
+            return 0.0
+        return num_blocks * self._block_bytes / self._link.bandwidth + self._link.latency
+
+    def clear(self) -> None:
+        """Drop everything stored."""
+        self._blocks.clear()

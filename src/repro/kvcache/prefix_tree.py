@@ -1,0 +1,287 @@
+"""Radix-tree prefix cache over chained block hashes.
+
+Cached KV blocks are organised as a tree: a node's children are the blocks that
+can follow it, keyed by their chained content hash.  Because the content hash
+of block *i* already incorporates the hashes of blocks 0..i-1 (see
+``repro.kvcache.block.hash_chain``), looking up a request's block-hash list is
+a walk from the root that stops at the first miss — exactly the prefix-match
+semantics of vLLM's automatic prefix caching.
+
+Eviction is LRU over *leaf* nodes that are not pinned by a running request
+(evicting an interior node would orphan its descendants' hash chains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import AllocationError
+from repro.kvcache.allocator import BlockAllocator
+from repro.kvcache.block import Block
+
+
+@dataclass
+class _TreeNode:
+    """One cached block inside the radix tree."""
+
+    content_hash: int
+    block: Block
+    parent: "_TreeNode | None"
+    children: dict[int, "_TreeNode"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass(frozen=True)
+class PrefixMatch:
+    """Result of looking up a request's block hashes in the prefix cache.
+
+    Attributes:
+        num_blocks: Number of leading blocks found in the cache.
+        num_tokens: The same count expressed in tokens.
+        blocks: The matched blocks, in prefix order.
+    """
+
+    num_blocks: int
+    num_tokens: int
+    blocks: tuple[Block, ...]
+
+
+class RadixPrefixCache:
+    """LRU radix-tree prefix cache backed by a :class:`BlockAllocator`.
+
+    The cache owns the blocks it stores: inserting allocates from the shared
+    allocator (possibly after evicting), and evicting frees back to it.
+
+    Args:
+        allocator: Shared physical block pool.
+    """
+
+    def __init__(self, allocator: BlockAllocator) -> None:
+        self._allocator = allocator
+        self._nodes: dict[int, _TreeNode] = {}
+        self._roots: dict[int, _TreeNode] = {}
+        self._version = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every insertion or eviction.
+
+        The scheduler uses this to know when cached JCT calibrations are stale.
+        """
+        return self._version
+
+    @property
+    def num_cached_blocks(self) -> int:
+        """Number of blocks currently held by the cache."""
+        return len(self._nodes)
+
+    @property
+    def num_cached_tokens(self) -> int:
+        """Number of tokens currently held by the cache."""
+        return sum(node.block.num_tokens for node in self._nodes.values())
+
+    @property
+    def stats(self) -> dict:
+        """Cumulative hit/miss/insert/evict counters."""
+        return {
+            "block_hits": self._hits,
+            "block_misses": self._misses,
+            "insertions": self._insertions,
+            "evictions": self._evictions,
+        }
+
+    def __contains__(self, content_hash: int) -> bool:
+        return content_hash in self._nodes
+
+    # ---------------------------------------------------------------- lookup
+
+    def match(self, block_hashes: Sequence[int], *, now: float = 0.0,
+              touch: bool = True) -> PrefixMatch:
+        """Find the longest cached prefix of ``block_hashes``.
+
+        Args:
+            block_hashes: Chained content hashes of the request's full blocks.
+            now: Logical time used to refresh LRU timestamps.
+            touch: If False, the lookup does not update LRU state (used by the
+                scheduler's JCT calibration, which must not perturb eviction
+                order merely by inspecting the queue).
+        """
+        matched: list[Block] = []
+        tokens = 0
+        for content_hash in block_hashes:
+            node = self._nodes.get(content_hash)
+            if node is None:
+                self._misses += 1
+                break
+            if touch:
+                node.block.touch(now)
+            matched.append(node.block)
+            tokens += node.block.num_tokens
+            self._hits += 1
+        return PrefixMatch(num_blocks=len(matched), num_tokens=tokens, blocks=tuple(matched))
+
+    def match_length(self, block_hashes: Sequence[int]) -> int:
+        """Return only the number of cached leading blocks (no LRU update)."""
+        count = 0
+        for content_hash in block_hashes:
+            if content_hash not in self._nodes:
+                break
+            count += 1
+        return count
+
+    # ------------------------------------------------------------- insertion
+
+    def insert(self, block_hashes: Sequence[int], *, block_size: int, now: float = 0.0,
+               max_new_blocks: int | None = None, allow_eviction: bool = True) -> int:
+        """Insert the blocks of a finished request into the cache.
+
+        Blocks already present are refreshed; missing blocks are allocated from
+        the shared pool, evicting LRU leaves when ``allow_eviction`` is True.
+        Insertion stops early (suffix discarding) when the pool cannot supply a
+        block, or when ``max_new_blocks`` new blocks have been added.
+
+        Returns:
+            The number of blocks of the request now resident in the cache
+            (matched + newly inserted), i.e. the cached prefix length in blocks.
+        """
+        parent: _TreeNode | None = None
+        resident = 0
+        new_blocks = 0
+        # Pin the insert path so that evictions triggered by this very insert
+        # cannot remove the request's own ancestors (which would break the
+        # chained-hash prefix property).
+        path: list[Block] = []
+        try:
+            for content_hash in block_hashes:
+                node = self._nodes.get(content_hash)
+                if node is not None:
+                    node.block.touch(now)
+                    node.block.pin()
+                    path.append(node.block)
+                    parent = node
+                    resident += 1
+                    continue
+                if max_new_blocks is not None and new_blocks >= max_new_blocks:
+                    break
+                block = self._allocate_block(
+                    content_hash, block_size, now, allow_eviction=allow_eviction
+                )
+                if block is None:
+                    break
+                node = _TreeNode(content_hash=content_hash, block=block, parent=parent)
+                if parent is None:
+                    self._roots[content_hash] = node
+                else:
+                    parent.children[content_hash] = node
+                self._nodes[content_hash] = node
+                node.block.pin()
+                path.append(node.block)
+                parent = node
+                resident += 1
+                new_blocks += 1
+                self._insertions += 1
+                self._version += 1
+        finally:
+            for block in path:
+                block.unpin()
+        return resident
+
+    def _allocate_block(self, content_hash: int, block_size: int, now: float, *,
+                        allow_eviction: bool) -> Block | None:
+        """Allocate one block, evicting LRU leaves if necessary and allowed."""
+        while True:
+            try:
+                return self._allocator.allocate(
+                    content_hash=content_hash, num_tokens=block_size, now=now
+                )
+            except AllocationError:
+                if not allow_eviction or not self.evict_blocks(1):
+                    return None
+
+    # -------------------------------------------------------------- eviction
+
+    def _evictable_leaves(self) -> Iterator[_TreeNode]:
+        """Yield unpinned leaf nodes (the only legal eviction victims)."""
+        for node in self._nodes.values():
+            if node.is_leaf and not node.block.is_pinned:
+                yield node
+
+    @property
+    def num_evictable_blocks(self) -> int:
+        """Number of blocks that could be reclaimed right now.
+
+        This counts the whole unpinned subtree mass, not just current leaves,
+        because evicting a leaf exposes its parent as the next victim.
+        """
+        return sum(1 for node in self._nodes.values() if not node.block.is_pinned)
+
+    def evict_blocks(self, count: int) -> int:
+        """Evict up to ``count`` blocks in LRU order; return how many were evicted."""
+        evicted = 0
+        while evicted < count:
+            victim = min(
+                self._evictable_leaves(),
+                key=lambda node: node.block.last_access,
+                default=None,
+            )
+            if victim is None:
+                break
+            self._remove_node(victim)
+            evicted += 1
+        return evicted
+
+    def _remove_node(self, node: _TreeNode) -> None:
+        if node.parent is None:
+            self._roots.pop(node.content_hash, None)
+        else:
+            node.parent.children.pop(node.content_hash, None)
+        del self._nodes[node.content_hash]
+        self._allocator.free(node.block)
+        self._evictions += 1
+        self._version += 1
+
+    # --------------------------------------------------------------- pinning
+
+    def pin_prefix(self, block_hashes: Sequence[int]) -> list[Block]:
+        """Pin the cached prefix of a request while it executes.
+
+        Pinned blocks cannot be evicted, which is how the cache guarantees that
+        a scheduled request's advertised prefix hit is still there when the
+        request actually runs.
+        """
+        pinned: list[Block] = []
+        for content_hash in block_hashes:
+            node = self._nodes.get(content_hash)
+            if node is None:
+                break
+            node.block.pin()
+            pinned.append(node.block)
+        return pinned
+
+    def unpin(self, blocks: Sequence[Block]) -> None:
+        """Release blocks pinned by :meth:`pin_prefix`."""
+        for block in blocks:
+            block.unpin()
+
+    # ----------------------------------------------------------------- misc
+
+    def clear(self) -> None:
+        """Drop every cached block (used between experiments)."""
+        for node in list(self._nodes.values()):
+            if node.block.is_pinned:
+                raise AllocationError("cannot clear the prefix cache while blocks are pinned")
+        for node in list(self._nodes.values()):
+            self._allocator.free(node.block)
+        self._nodes.clear()
+        self._roots.clear()
+        self._version += 1

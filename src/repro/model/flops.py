@@ -1,0 +1,86 @@
+"""Analytical FLOP counts for prefilling and decoding.
+
+The latency model (``repro.model.latency``) converts these FLOP counts into
+seconds using the GPU's sustained throughput.  The split between the dense
+(linear-layer) term and the attention (sequence-length-quadratic) term matters
+because chunked prefilling and tensor parallelism affect the two terms
+differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class FlopsBreakdown:
+    """FLOPs of one forward pass split into dense and attention terms."""
+
+    dense_flops: float
+    attention_flops: float
+
+    @property
+    def total(self) -> float:
+        return self.dense_flops + self.attention_flops
+
+
+class FlopsModel:
+    """Compute FLOPs for prefill and decode passes of a model.
+
+    The dense term uses the standard ``2 * parameters * tokens`` estimate for
+    matmul-dominated transformer layers.  The attention term counts the
+    query-key and probability-value matmuls, which scale with
+    ``new_tokens * total_context``.
+    """
+
+    def __init__(self, model: ModelConfig) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> ModelConfig:
+        return self._model
+
+    def prefill(self, num_new_tokens: int, *, num_cached_tokens: int = 0) -> FlopsBreakdown:
+        """FLOPs to prefill ``num_new_tokens`` on top of ``num_cached_tokens``.
+
+        When a prefix of the request already has its KV cache resident (prefix
+        cache hit), only the new tokens go through the dense layers, and the
+        attention term covers new tokens attending over the full context
+        (cached + new), which is exactly what a paged-attention kernel computes.
+        """
+        if num_new_tokens < 0 or num_cached_tokens < 0:
+            raise ValueError("token counts must be non-negative")
+        model = self._model
+        total_context = num_new_tokens + num_cached_tokens
+        dense = 2.0 * model.num_parameters * num_new_tokens
+        # Q@K^T and P@V: 2 matmuls, each 2 * heads * head_dim * new * context,
+        # per layer.  Causal masking halves the average context length for the
+        # new tokens attending to each other; we fold that in for the new-new
+        # part and keep the full term for new-cached attention.
+        per_layer = 4.0 * model.num_attention_heads * model.head_dim
+        new_new = per_layer * num_new_tokens * max(num_new_tokens, 1) / 2.0
+        new_cached = per_layer * num_new_tokens * num_cached_tokens
+        attention = model.num_layers * (new_new + new_cached)
+        return FlopsBreakdown(dense_flops=dense, attention_flops=attention)
+
+    def decode_step(self, context_length: int) -> FlopsBreakdown:
+        """FLOPs to decode one token with ``context_length`` tokens of context."""
+        if context_length < 0:
+            raise ValueError("context_length must be non-negative")
+        model = self._model
+        dense = 2.0 * model.num_parameters
+        per_layer = 4.0 * model.num_attention_heads * model.head_dim
+        attention = model.num_layers * per_layer * context_length
+        return FlopsBreakdown(dense_flops=dense, attention_flops=attention)
+
+    def decode_sequence(self, prompt_length: int, num_output_tokens: int) -> FlopsBreakdown:
+        """Aggregate FLOPs to decode ``num_output_tokens`` after a prompt."""
+        dense = 0.0
+        attention = 0.0
+        for i in range(num_output_tokens):
+            step = self.decode_step(prompt_length + i)
+            dense += step.dense_flops
+            attention += step.attention_flops
+        return FlopsBreakdown(dense_flops=dense, attention_flops=attention)

@@ -1,0 +1,33 @@
+"""Serving substrate: the discrete-event simulation of an online serving system.
+
+The paper evaluates PrefillOnly as an online service: requests arrive as a
+Poisson process, a router spreads users across engine instances, each instance
+schedules and executes requests, and the evaluation reports latency percentiles
+and throughput as functions of the offered queries per second.  This package
+provides exactly those pieces:
+
+* :mod:`repro.simulation.arrival`  — Poisson and burst arrival processes;
+* :mod:`repro.simulation.routing`  — user-id-based round-robin routing;
+* :mod:`repro.simulation.server`   — a serving system (router + instances);
+* :mod:`repro.simulation.simulator` — the event loop;
+* :mod:`repro.simulation.metrics`  — latency / throughput / hit-rate summaries.
+"""
+
+from repro.simulation.arrival import PoissonArrivalProcess, BurstArrivalProcess, UniformArrivalProcess
+from repro.simulation.routing import UserIdRouter, LeastLoadedRouter
+from repro.simulation.metrics import LatencySummary, summarize_finished
+from repro.simulation.server import ServingSystem
+from repro.simulation.simulator import SimulationResult, simulate
+
+__all__ = [
+    "PoissonArrivalProcess",
+    "BurstArrivalProcess",
+    "UniformArrivalProcess",
+    "UserIdRouter",
+    "LeastLoadedRouter",
+    "LatencySummary",
+    "summarize_finished",
+    "ServingSystem",
+    "SimulationResult",
+    "simulate",
+]

@@ -1,0 +1,101 @@
+"""Request arrival processes.
+
+The paper assumes Poisson arrivals and sweeps the rate to vary the offered
+queries per second (§7.1).  It also determines each engine's base throughput by
+sending the whole trace at once ("all requests coming at once"), which the
+:class:`BurstArrivalProcess` reproduces.  A deterministic uniform process is
+provided for tests that need exact spacing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Request
+
+
+class ArrivalProcess(abc.ABC):
+    """Assigns arrival times to a list of requests."""
+
+    @abc.abstractmethod
+    def assign(self, requests: list[Request]) -> list[Request]:
+        """Return the requests with ``arrival_time`` set, sorted by arrival time."""
+
+
+def _sorted_copy(requests: list[Request], times: list[float],
+                 order: np.ndarray | None = None) -> list[Request]:
+    """Attach ``times`` to ``requests`` (optionally reordered) and sort by time."""
+    if order is None:
+        ordered = list(requests)
+    else:
+        ordered = [requests[i] for i in order]
+    for request, time in zip(ordered, times):
+        request.arrival_time = float(time)
+    return sorted(ordered, key=lambda r: (r.arrival_time, r.request_id))
+
+
+@dataclass(frozen=True)
+class PoissonArrivalProcess(ArrivalProcess):
+    """Poisson arrivals at ``rate`` requests per second.
+
+    Attributes:
+        rate: Mean arrival rate (queries per second).
+        seed: RNG seed (controls both inter-arrival gaps and request order).
+        shuffle: Randomise the request order before assigning times, so that
+            one user's 50 requests are interleaved with other users' the way an
+            online service would see them.
+    """
+
+    rate: float
+    seed: int = 0
+    shuffle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+
+    def assign(self, requests: list[Request]) -> list[Request]:
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(requests)) if self.shuffle else None
+        gaps = rng.exponential(1.0 / self.rate, size=len(requests))
+        times = np.cumsum(gaps)
+        return _sorted_copy(requests, list(times), order)
+
+
+@dataclass(frozen=True)
+class BurstArrivalProcess(ArrivalProcess):
+    """Every request arrives at the same instant (used to measure base throughput)."""
+
+    at_time: float = 0.0
+    seed: int = 0
+    shuffle: bool = True
+
+    def assign(self, requests: list[Request]) -> list[Request]:
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(requests)) if self.shuffle else None
+        times = [self.at_time] * len(requests)
+        return _sorted_copy(requests, times, order)
+
+
+@dataclass(frozen=True)
+class UniformArrivalProcess(ArrivalProcess):
+    """Deterministic arrivals spaced exactly ``1 / rate`` seconds apart."""
+
+    rate: float
+    seed: int = 0
+    shuffle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+
+    def assign(self, requests: list[Request]) -> list[Request]:
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(requests)) if self.shuffle else None
+        spacing = 1.0 / self.rate
+        times = [spacing * (index + 1) for index in range(len(requests))]
+        return _sorted_copy(requests, times, order)

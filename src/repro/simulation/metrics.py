@@ -1,0 +1,123 @@
+"""Latency / throughput / cache-hit summaries of simulation results.
+
+The paper reports mean latency, P99 latency, request throughput, and prefix
+cache hit behaviour.  :func:`summarize_finished` turns a list of
+:class:`~repro.core.engine.FinishedRequest` records into exactly those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import FinishedRequest
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate statistics of one simulation run."""
+
+    num_requests: int
+    num_rejected: int
+    mean_latency: float
+    p50_latency: float
+    p90_latency: float
+    p99_latency: float
+    max_latency: float
+    mean_queueing_time: float
+    mean_execution_time: float
+    throughput_rps: float
+    makespan: float
+    cache_hit_rate: float
+    token_hit_rate: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for report tables."""
+        return {
+            "num_requests": self.num_requests,
+            "num_rejected": self.num_rejected,
+            "mean_latency_s": round(self.mean_latency, 3),
+            "p50_latency_s": round(self.p50_latency, 3),
+            "p90_latency_s": round(self.p90_latency, 3),
+            "p99_latency_s": round(self.p99_latency, 3),
+            "max_latency_s": round(self.max_latency, 3),
+            "mean_queueing_s": round(self.mean_queueing_time, 3),
+            "mean_execution_s": round(self.mean_execution_time, 3),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "makespan_s": round(self.makespan, 3),
+            "cache_hit_rate": round(self.cache_hit_rate, 3),
+            "token_hit_rate": round(self.token_hit_rate, 3),
+        }
+
+
+def summarize_finished(finished: list[FinishedRequest],
+                       rejected: list[FinishedRequest] | None = None) -> LatencySummary:
+    """Summarise completion records into the paper's reporting metrics.
+
+    Throughput is completed requests divided by the makespan (first arrival to
+    last completion), matching how the paper derives requests-per-second from a
+    trace replay.
+    """
+    rejected = rejected or []
+    if not finished:
+        return LatencySummary(
+            num_requests=0,
+            num_rejected=len(rejected),
+            mean_latency=0.0,
+            p50_latency=0.0,
+            p90_latency=0.0,
+            p99_latency=0.0,
+            max_latency=0.0,
+            mean_queueing_time=0.0,
+            mean_execution_time=0.0,
+            throughput_rps=0.0,
+            makespan=0.0,
+            cache_hit_rate=0.0,
+            token_hit_rate=0.0,
+        )
+    latencies = [record.latency for record in finished]
+    queueing = [record.queueing_time for record in finished]
+    execution = [record.execution_time for record in finished]
+    first_arrival = min(record.arrival_time for record in finished)
+    last_finish = max(record.finish_time for record in finished)
+    makespan = max(last_finish - first_arrival, 1e-12)
+    total_tokens = sum(record.num_tokens for record in finished)
+    hit_tokens = sum(record.cached_tokens for record in finished)
+    return LatencySummary(
+        num_requests=len(finished),
+        num_rejected=len(rejected),
+        mean_latency=float(np.mean(latencies)),
+        p50_latency=percentile(latencies, 50),
+        p90_latency=percentile(latencies, 90),
+        p99_latency=percentile(latencies, 99),
+        max_latency=float(np.max(latencies)),
+        mean_queueing_time=float(np.mean(queueing)),
+        mean_execution_time=float(np.mean(execution)),
+        throughput_rps=len(finished) / makespan,
+        makespan=makespan,
+        cache_hit_rate=sum(1 for r in finished if r.had_cache_hit) / len(finished),
+        token_hit_rate=hit_tokens / total_tokens if total_tokens else 0.0,
+    )
+
+
+def latency_cdf(finished: list[FinishedRequest], *, num_points: int = 100) -> list[tuple[float, float]]:
+    """Empirical CDF of request latency, as (latency, fraction ≤ latency) pairs.
+
+    Used by the Figure 11 benchmark (latency CDF under different fairness λ).
+    """
+    if not finished:
+        return []
+    latencies = np.sort(np.asarray([record.latency for record in finished], dtype=np.float64))
+    fractions = np.arange(1, len(latencies) + 1) / len(latencies)
+    if len(latencies) <= num_points:
+        return list(zip(latencies.tolist(), fractions.tolist()))
+    indices = np.linspace(0, len(latencies) - 1, num_points).astype(int)
+    return list(zip(latencies[indices].tolist(), fractions[indices].tolist()))

@@ -1,0 +1,55 @@
+"""Request routing across engine instances.
+
+For PrefillOnly and the non-parallel baselines, the paper launches one engine
+instance per GPU and performs *user-id-based routing*: all requests from the
+same user go to the same instance (so the user's shared prefix stays in one
+prefix cache), and users are assigned to instances round-robin.  A
+least-loaded router is also provided for comparison / ablation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.workloads.trace import Request
+
+
+class Router(abc.ABC):
+    """Chooses an instance index for every request."""
+
+    def __init__(self, num_instances: int) -> None:
+        if num_instances <= 0:
+            raise ValueError("num_instances must be positive")
+        self.num_instances = num_instances
+
+    @abc.abstractmethod
+    def route(self, request: Request, queue_depths: list[int]) -> int:
+        """Return the index of the instance that should serve ``request``."""
+
+
+class UserIdRouter(Router):
+    """Round-robin assignment of *users* to instances (the paper's routing)."""
+
+    def __init__(self, num_instances: int) -> None:
+        super().__init__(num_instances)
+        self._assignments: dict[str, int] = {}
+        self._next_instance = 0
+
+    def route(self, request: Request, queue_depths: list[int]) -> int:
+        user = request.user_id
+        if user not in self._assignments:
+            self._assignments[user] = self._next_instance
+            self._next_instance = (self._next_instance + 1) % self.num_instances
+        return self._assignments[user]
+
+    @property
+    def assignments(self) -> dict[str, int]:
+        """User-to-instance mapping decided so far."""
+        return dict(self._assignments)
+
+
+class LeastLoadedRouter(Router):
+    """Send every request to the instance with the shortest waiting queue."""
+
+    def route(self, request: Request, queue_depths: list[int]) -> int:
+        return min(range(self.num_instances), key=lambda index: queue_depths[index])

@@ -1,0 +1,28 @@
+"""Workload substrate: synthetic prefill-only request traces.
+
+The paper evaluates on two simulated datasets (its Table 1): a post
+recommendation workload with heavy prefix reuse and moderate lengths, and a
+credit verification workload with very long inputs and no reuse.  This package
+generates both with the paper's token-length distributions, plus the plumbing
+they share: a compact token-sequence representation (so 60,000-token requests
+do not materialise 60,000 integers), a deterministic synthetic tokenizer for
+the examples, and the request/trace containers the simulator consumes.
+"""
+
+from repro.workloads.trace import TokenSegment, TokenSequence, Request, WorkloadTrace
+from repro.workloads.tokenizer import SyntheticTokenizer
+from repro.workloads.post_recommendation import PostRecommendationWorkload
+from repro.workloads.credit_verification import CreditVerificationWorkload
+from repro.workloads.registry import get_workload, list_workloads
+
+__all__ = [
+    "TokenSegment",
+    "TokenSequence",
+    "Request",
+    "WorkloadTrace",
+    "SyntheticTokenizer",
+    "PostRecommendationWorkload",
+    "CreditVerificationWorkload",
+    "get_workload",
+    "list_workloads",
+]

@@ -1,0 +1,33 @@
+"""Workload registry: look up the paper's workloads by name."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.credit_verification import CreditVerificationWorkload
+from repro.workloads.post_recommendation import PostRecommendationWorkload
+from repro.workloads.trace import WorkloadTrace
+
+_WORKLOAD_FACTORIES = {
+    "post-recommendation": PostRecommendationWorkload,
+    "credit-verification": CreditVerificationWorkload,
+}
+
+
+def list_workloads() -> list[str]:
+    """Names of the registered workloads (the paper's two datasets)."""
+    return sorted(_WORKLOAD_FACTORIES)
+
+
+def get_workload(name: str, **overrides) -> WorkloadTrace:
+    """Generate a registered workload, optionally overriding its parameters.
+
+    Args:
+        name: ``"post-recommendation"`` or ``"credit-verification"``.
+        **overrides: Generator parameters (e.g. ``num_users=4`` for fast tests).
+    """
+    try:
+        factory = _WORKLOAD_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(list_workloads())
+        raise WorkloadError(f"unknown workload {name!r}; known workloads: {known}") from None
+    return factory(**overrides).generate()

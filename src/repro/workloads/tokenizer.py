@@ -1,0 +1,65 @@
+"""Deterministic synthetic tokenizer.
+
+The examples build prompts out of text (user profiles, posts, credit
+histories).  A real LLM tokenizer is not available offline, so this module
+provides a deterministic stand-in: whitespace/punctuation word splitting with a
+fixed sub-word expansion factor and stable hashing of words to token ids.  The
+serving engines never look at token *values* — only counts and prefix equality
+matter — so this is sufficient for realistic end-to-end examples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_WORD_PATTERN = re.compile(r"\w+|[^\w\s]")
+
+
+@dataclass(frozen=True)
+class SyntheticTokenizer:
+    """Deterministic text-to-token-id mapping.
+
+    Attributes:
+        vocab_size: Token id space (ids are hashes of sub-words modulo this).
+        subwords_per_word: Average number of tokens a word expands into; the
+            default of 1.3 approximates common BPE vocabularies on English text.
+    """
+
+    vocab_size: int = 128_000
+    subwords_per_word: float = 1.3
+
+    def encode(self, text: str) -> list[int]:
+        """Tokenize ``text`` into a deterministic list of token ids."""
+        tokens: list[int] = []
+        for index, word in enumerate(_WORD_PATTERN.findall(text)):
+            pieces = self._split_word(word, index)
+            for piece_index, piece in enumerate(pieces):
+                tokens.append(self._token_id(piece, piece_index))
+        return tokens
+
+    def count_tokens(self, text: str) -> int:
+        """Token count of ``text`` (cheaper than :meth:`encode` for sizing)."""
+        words = _WORD_PATTERN.findall(text)
+        total = 0
+        for index, word in enumerate(words):
+            total += len(self._split_word(word, index))
+        return total
+
+    def _split_word(self, word: str, index: int) -> list[str]:
+        # Expand roughly every third word into two sub-words so that the
+        # average expansion matches ``subwords_per_word`` without randomness.
+        extra_every = max(int(round(1.0 / max(self.subwords_per_word - 1.0, 1e-9))), 1)
+        if len(word) > 3 and index % extra_every == 0:
+            midpoint = len(word) // 2
+            return [word[:midpoint], word[midpoint:]]
+        return [word]
+
+    def _token_id(self, piece: str, salt: int) -> int:
+        # Python's built-in hash is salted per process; use a stable FNV-1a so
+        # that token ids are reproducible across runs.
+        value = 0xCBF29CE484222325
+        for byte in f"{salt}:{piece}".encode("utf-8"):
+            value ^= byte
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return value % self.vocab_size

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Fixtures keep the expensive objects (workload traces, serving systems) small so
+the whole suite stays fast; benchmarks use paper-scale parameters instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import prefillonly_engine_spec
+from repro.hardware.cluster import get_hardware_setup
+from repro.hardware.gpu import get_gpu
+from repro.model.config import get_model
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="session")
+def llama_8b():
+    return get_model("llama-3.1-8b")
+
+
+@pytest.fixture(scope="session")
+def qwen_32b():
+    return get_model("qwen-32b-fp8")
+
+
+@pytest.fixture(scope="session")
+def llama_70b():
+    return get_model("llama-3.3-70b-fp8")
+
+
+@pytest.fixture(scope="session")
+def l4_gpu():
+    return get_gpu("l4")
+
+
+@pytest.fixture(scope="session")
+def a100_gpu():
+    return get_gpu("a100-40gb")
+
+
+@pytest.fixture(scope="session")
+def h100_gpu():
+    return get_gpu("h100-80gb")
+
+
+@pytest.fixture(scope="session")
+def h100_setup():
+    return get_hardware_setup("h100")
+
+
+@pytest.fixture(scope="session")
+def l4_setup():
+    return get_hardware_setup("l4")
+
+
+@pytest.fixture(scope="session")
+def small_post_trace():
+    """A shrunken post-recommendation trace (4 users x 8 posts)."""
+    return get_workload("post-recommendation", num_users=4, posts_per_user=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_credit_trace():
+    """A shrunken credit-verification trace (6 users)."""
+    return get_workload("credit-verification", num_users=6, seed=7)
+
+
+@pytest.fixture()
+def prefillonly_spec():
+    return prefillonly_engine_spec()

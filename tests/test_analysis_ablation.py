@@ -1,0 +1,54 @@
+"""Tests for the Figure 10 MIL ablation."""
+
+import pytest
+
+from repro.analysis.ablation import mil_ablation
+from repro.baselines import chunked_prefill_spec, paged_attention_spec
+
+
+@pytest.fixture(scope="module")
+def ablation(qwen_32b, a100_gpu):
+    return mil_ablation(
+        qwen_32b, a100_gpu,
+        vanilla_spec=paged_attention_spec(),
+        chunked_spec=chunked_prefill_spec(),
+    )
+
+
+def test_ablation_has_five_stages(ablation):
+    names = [step.name for step in ablation]
+    assert names == [
+        "vanilla-vllm",
+        "chunked-prefill",
+        "hybrid-chunking",
+        "hybrid+preallocation",
+        "hybrid+in-place",
+    ]
+
+
+def test_each_optimisation_improves_or_maintains_mil(ablation):
+    hybrid_steps = ablation[2:]
+    values = [step.max_input_length for step in hybrid_steps]
+    assert values == sorted(values)
+    assert values[0] > ablation[0].max_input_length  # chunking alone beats vanilla
+
+
+def test_final_stage_improvement_is_large(ablation):
+    """Figure 10: the full hybrid pipeline is ~8x the vanilla MIL on A100/Qwen-32B."""
+    final = ablation[-1]
+    assert final.improvement_over_vanilla > 4.0
+
+
+def test_only_chunked_prefill_hurts_throughput(ablation):
+    flags = {step.name: step.hurts_throughput for step in ablation}
+    assert flags["chunked-prefill"] is True
+    assert sum(flags.values()) == 1
+
+
+def test_improvement_is_relative_to_vanilla(ablation):
+    vanilla = ablation[0]
+    assert vanilla.improvement_over_vanilla == 1.0
+    for step in ablation[1:]:
+        assert step.improvement_over_vanilla == pytest.approx(
+            step.max_input_length / vanilla.max_input_length
+        )

@@ -1,0 +1,79 @@
+"""Tests for the maximum-input-length analysis (Table 2)."""
+
+import pytest
+
+from repro.analysis.mil import max_input_length, mil_table, workload_feasibility
+from repro.baselines import (
+    chunked_prefill_spec,
+    paged_attention_spec,
+    pipeline_parallel_spec,
+    tensor_parallel_spec,
+)
+from repro.core.engine import prefillonly_engine_spec
+from repro.core.profile_run import run_profile
+from repro.errors import CapacityError
+from repro.hardware.cluster import get_hardware_setup
+from repro.model.config import get_model
+
+
+def test_mil_boundary_is_exact(llama_8b, l4_gpu):
+    spec = paged_attention_spec()
+    mil = max_input_length(spec, llama_8b, l4_gpu)
+    run_profile(llama_8b, l4_gpu, max_input_length=mil, mode=spec.prefill_mode)
+    with pytest.raises(CapacityError):
+        run_profile(llama_8b, l4_gpu, max_input_length=mil + 1, mode=spec.prefill_mode)
+
+
+def test_model_too_large_reports_zero(llama_70b, l4_gpu):
+    assert max_input_length(paged_attention_spec(), llama_70b, l4_gpu) == 0
+
+
+def test_table2_ordering_on_l4(llama_8b, l4_gpu):
+    """PagedAttention < chunked prefill < PrefillOnly, with parallel engines ahead of paged."""
+    paged = max_input_length(paged_attention_spec(), llama_8b, l4_gpu)
+    chunked = max_input_length(chunked_prefill_spec(), llama_8b, l4_gpu)
+    prefillonly = max_input_length(prefillonly_engine_spec(), llama_8b, l4_gpu)
+    pipeline = max_input_length(pipeline_parallel_spec(), llama_8b, l4_gpu)
+    tensor = max_input_length(tensor_parallel_spec(), llama_8b, l4_gpu)
+    assert paged < chunked < prefillonly
+    assert paged < pipeline
+    assert paged < tensor
+
+
+def test_prefillonly_expands_mil_by_multiple_of_paged(qwen_32b, a100_gpu):
+    """§7: PrefillOnly expands the MIL severalfold over the vanilla engine."""
+    paged = max_input_length(paged_attention_spec(), qwen_32b, a100_gpu)
+    prefillonly = max_input_length(prefillonly_engine_spec(), qwen_32b, a100_gpu)
+    assert prefillonly > 4 * paged
+
+
+def test_paged_attention_a100_mil_close_to_paper(qwen_32b, a100_gpu):
+    """Table 2 reports 11,000 tokens for PagedAttention on A100/Qwen-32B."""
+    mil = max_input_length(paged_attention_spec(), qwen_32b, a100_gpu)
+    assert 8_000 < mil < 25_000
+
+
+def test_chunked_prefill_roughly_doubles_paged(llama_8b, l4_gpu):
+    paged = max_input_length(paged_attention_spec(), llama_8b, l4_gpu)
+    chunked = max_input_length(chunked_prefill_spec(), llama_8b, l4_gpu)
+    assert 1.3 < chunked / paged < 2.6
+
+
+def test_workload_feasibility_marks():
+    checks = workload_feasibility(50_000, {"WL1": 17_500, "WL2": 61_000})
+    by_name = {check.workload: check.feasible for check in checks}
+    assert by_name == {"WL1": True, "WL2": False}
+
+
+def test_mil_table_shape_and_feasibility_columns():
+    specs = [paged_attention_spec(), prefillonly_engine_spec()]
+    setups = [get_hardware_setup("l4"), get_hardware_setup("a100")]
+    rows = mil_table(specs, setups, get_model,
+                     workload_max_tokens={"WL1": 17_500, "WL2": 61_000})
+    assert len(rows) == 4
+    for row in rows:
+        assert {"engine", "hardware", "max_input_length", "feasible[WL1]", "feasible[WL2]"} <= row.keys()
+    paged_a100 = next(r for r in rows if r["engine"] == "paged-attention" and r["hardware"] == "a100")
+    assert not paged_a100["feasible[WL1]"]
+    prefill_a100 = next(r for r in rows if r["engine"] == "prefillonly" and r["hardware"] == "a100")
+    assert prefill_a100["feasible[WL2]"]

@@ -1,0 +1,82 @@
+"""Tests for the QPS sweep harness (Figures 6/7/8/9 machinery)."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    PAPER_QPS_MULTIPLIERS,
+    base_throughput,
+    compare_engines,
+    paper_qps_points,
+    qps_sweep,
+    run_once,
+    throughput_comparison,
+)
+from repro.baselines import paged_attention_spec, tensor_parallel_spec
+from repro.core.engine import prefillonly_engine_spec
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import get_hardware_setup
+
+
+def test_run_once_completes_all_requests(h100_setup, small_post_trace):
+    result = run_once(prefillonly_engine_spec(), h100_setup, small_post_trace, qps=5.0)
+    assert result.num_finished == len(small_post_trace)
+
+
+def test_base_throughput_positive(h100_setup, small_post_trace):
+    assert base_throughput(prefillonly_engine_spec(), h100_setup, small_post_trace) > 0
+
+
+def test_paper_qps_points_grid():
+    points = paper_qps_points(10.0)
+    assert points == [2.5, 5.0, 10.0, 20.0, 30.0, 40.0]
+    assert len(PAPER_QPS_MULTIPLIERS) == 6
+    with pytest.raises(ConfigurationError):
+        paper_qps_points(0.0)
+
+
+def test_qps_sweep_returns_one_point_per_rate(h100_setup, small_post_trace):
+    points = qps_sweep(prefillonly_engine_spec(), h100_setup, small_post_trace, [2.0, 20.0])
+    assert len(points) == 2
+    assert points[0].qps == 2.0
+    assert points[1].qps == 20.0
+    assert all(point.mean_latency > 0 for point in points)
+
+
+def test_latency_grows_with_offered_load(h100_setup, small_post_trace):
+    points = qps_sweep(prefillonly_engine_spec(), h100_setup, small_post_trace, [1.0, 50.0])
+    assert points[-1].mean_latency > points[0].mean_latency
+    assert points[-1].p99_latency >= points[-1].mean_latency
+
+
+def test_infeasible_engine_returns_empty_sweep(small_credit_trace):
+    setup = get_hardware_setup("a100")
+    points = qps_sweep(paged_attention_spec(), setup, small_credit_trace, [0.1])
+    assert points == []
+
+
+def test_compare_engines_covers_all_specs(l4_setup, small_post_trace):
+    specs = [prefillonly_engine_spec(), paged_attention_spec()]
+    results = compare_engines(specs, l4_setup, small_post_trace, [5.0])
+    assert set(results) == {"prefillonly", "paged-attention"}
+    assert all(len(points) == 1 for points in results.values())
+
+
+def test_throughput_comparison_reports_every_engine(h100_setup, small_post_trace):
+    specs = [prefillonly_engine_spec(), tensor_parallel_spec()]
+    result = throughput_comparison(specs, h100_setup, small_post_trace)
+    assert set(result) == {"prefillonly", "tensor-parallel"}
+    assert result["prefillonly"] > 0
+
+
+def test_throughput_comparison_marks_infeasible_as_zero(small_credit_trace):
+    setup = get_hardware_setup("a100")
+    result = throughput_comparison([paged_attention_spec()], setup, small_credit_trace)
+    assert result["paged-attention"] == 0.0
+
+
+def test_sweep_point_as_dict(h100_setup, small_post_trace):
+    point = qps_sweep(prefillonly_engine_spec(), h100_setup, small_post_trace, [5.0])[0]
+    payload = point.as_dict()
+    assert payload["engine"] == "prefillonly"
+    assert payload["workload"] == "post-recommendation"
+    assert payload["qps"] == 5.0

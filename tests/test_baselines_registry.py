@@ -1,0 +1,42 @@
+"""Tests for the engine-spec registry."""
+
+import pytest
+
+from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, baseline_specs, get_engine_spec
+from repro.errors import ConfigurationError
+from repro.kvcache.manager import CommitPolicy
+
+
+def test_all_engine_specs_count_and_order():
+    specs = all_engine_specs()
+    assert [spec.name for spec in specs] == ENGINE_ORDER
+    assert len(specs) == 5
+
+
+def test_baseline_specs_exclude_prefillonly():
+    names = [spec.name for spec in baseline_specs()]
+    assert "prefillonly" not in names
+    assert len(names) == 4
+
+
+def test_get_engine_spec_with_overrides():
+    spec = get_engine_spec("chunked-prefill", chunk_tokens=1024)
+    assert spec.chunk_tokens == 1024
+    spec = get_engine_spec("prefillonly", fairness_lambda=0.0)
+    assert spec.fairness_lambda == 0.0
+
+
+def test_get_engine_spec_unknown():
+    with pytest.raises(ConfigurationError):
+        get_engine_spec("sglang")
+
+
+def test_disabling_prefix_caching_switches_commit_policy():
+    spec = get_engine_spec("paged-attention", enable_prefix_caching=False)
+    assert spec.commit_policy is CommitPolicy.NONE
+    assert not spec.enable_prefix_caching
+
+
+def test_engine_names_are_unique():
+    names = [spec.name for spec in all_engine_specs()]
+    assert len(names) == len(set(names))

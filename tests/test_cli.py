@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "llama-3.1-8b" in output
+    assert "NVIDIA H100" in output
+    assert "prefillonly" in output
+
+
+def test_workload_command(capsys):
+    assert main(["workload", "credit-verification"]) == 0
+    output = capsys.readouterr().out
+    assert "credit-verification" in output
+    assert "total_tokens" in output
+
+
+def test_mil_command_subset(capsys):
+    code = main(["mil", "--engines", "prefillonly", "paged-attention", "--setups", "a100"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "prefillonly" in output
+    assert "a100" in output
+    assert "max_input_length" in output
+
+
+def test_sweep_command_small(capsys):
+    code = main([
+        "sweep", "--engine", "prefillonly", "--setup", "h100",
+        "--workload", "post-recommendation", "--num-users", "2", "--qps", "2.0",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "mean_latency_s" in output
+
+
+def test_compare_command_small(capsys):
+    code = main([
+        "compare", "--setup", "l4", "--workload", "post-recommendation",
+        "--num-users", "2", "--qps", "3.0",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "prefillonly" in output
+    assert "tensor-parallel" in output
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--engine", "sglang"])

@@ -1,0 +1,72 @@
+"""Tests for the allocation ledger."""
+
+import numpy as np
+
+from repro.execution.memory_tracker import MemoryTracker
+
+
+def test_allocate_and_free_update_live_bytes():
+    tracker = MemoryTracker()
+    tracker.allocate("a", 100)
+    tracker.allocate("b", 50)
+    assert tracker.live_bytes == 150
+    tracker.free("a")
+    assert tracker.live_bytes == 50
+
+
+def test_peak_is_monotone():
+    tracker = MemoryTracker()
+    tracker.allocate("a", 100)
+    tracker.free("a")
+    tracker.allocate("b", 10)
+    assert tracker.peak_bytes == 100
+
+
+def test_reallocating_same_tag_replaces():
+    tracker = MemoryTracker()
+    tracker.allocate("buffer", 100)
+    tracker.allocate("buffer", 40)
+    assert tracker.live_bytes == 40
+
+
+def test_allocate_array_uses_nbytes():
+    tracker = MemoryTracker()
+    array = np.zeros((10, 10), dtype=np.float64)
+    returned = tracker.allocate_array("array", array)
+    assert returned is array
+    assert tracker.live_bytes == array.nbytes
+
+
+def test_free_matching_prefix():
+    tracker = MemoryTracker()
+    tracker.allocate("kv.layer0", 10)
+    tracker.allocate("kv.layer1", 10)
+    tracker.allocate("other", 5)
+    tracker.free_matching("kv.")
+    assert tracker.live_bytes == 5
+
+
+def test_free_unknown_tag_is_noop():
+    tracker = MemoryTracker()
+    tracker.free("never-allocated")
+    assert tracker.live_bytes == 0
+
+
+def test_trace_records_every_event():
+    tracker = MemoryTracker()
+    tracker.allocate("a", 1)
+    tracker.free("a")
+    trace = tracker.trace
+    assert len(trace) == 2
+    assert trace[0].label == "alloc:a"
+    assert trace[1].label == "free:a"
+    assert [sample.step for sample in trace] == [0, 1]
+
+
+def test_reset_clears_everything():
+    tracker = MemoryTracker()
+    tracker.allocate("a", 100)
+    tracker.reset()
+    assert tracker.live_bytes == 0
+    assert tracker.peak_bytes == 0
+    assert tracker.trace == []

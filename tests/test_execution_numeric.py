@@ -1,0 +1,115 @@
+"""Numerical validation of hybrid prefilling on the micro-transformer.
+
+These tests are the executable version of the paper's §4.2 correctness claim:
+evaluating position-wise layers chunk-by-chunk cannot change the result, while
+it does change (reduce) the peak memory footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.execution.chunked_linear import ChunkedExecutionOptions
+from repro.execution.numeric import MicroTransformer, MicroTransformerConfig
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MicroTransformer(MicroTransformerConfig(), seed=42)
+
+
+@pytest.fixture(scope="module")
+def tokens():
+    rng = np.random.default_rng(7)
+    return rng.integers(0, MicroTransformerConfig().vocab_size, size=200).tolist()
+
+
+def test_hybrid_prefill_matches_full_prefill(model, tokens):
+    full = model.prefill_full(tokens)
+    hybrid = model.prefill_hybrid(tokens, options=ChunkedExecutionOptions(chunk_tokens=33))
+    np.testing.assert_allclose(hybrid.logits, full.logits, rtol=1e-9, atol=1e-9)
+
+
+def test_chunked_prefill_matches_full_prefill(model, tokens):
+    full = model.prefill_full(tokens)
+    chunked = model.prefill_chunked(tokens, chunk_tokens=48)
+    np.testing.assert_allclose(chunked.logits, full.logits, rtol=1e-9, atol=1e-9)
+
+
+def test_hybrid_result_independent_of_chunk_size(model, tokens):
+    a = model.prefill_hybrid(tokens, options=ChunkedExecutionOptions(chunk_tokens=17))
+    b = model.prefill_hybrid(tokens, options=ChunkedExecutionOptions(chunk_tokens=128))
+    np.testing.assert_allclose(a.logits, b.logits, rtol=1e-9, atol=1e-9)
+
+
+def test_hybrid_without_preallocation_still_correct(model, tokens):
+    full = model.prefill_full(tokens)
+    naive = model.prefill_hybrid(
+        tokens, options=ChunkedExecutionOptions(chunk_tokens=33, preallocate_output=False)
+    )
+    np.testing.assert_allclose(naive.logits, full.logits, rtol=1e-9, atol=1e-9)
+
+
+def test_hybrid_peak_memory_below_full(model):
+    rng = np.random.default_rng(1)
+    long_tokens = rng.integers(0, 512, size=1024).tolist()
+    full = model.prefill_full(long_tokens)
+    hybrid = model.prefill_hybrid(long_tokens, options=ChunkedExecutionOptions(chunk_tokens=64))
+    assert hybrid.peak_bytes < full.peak_bytes
+
+
+def test_hybrid_discards_kv_while_chunked_retains_it(model):
+    rng = np.random.default_rng(2)
+    long_tokens = rng.integers(0, 512, size=1024).tolist()
+    chunked = model.prefill_chunked(long_tokens, chunk_tokens=64)
+    hybrid = model.prefill_hybrid(long_tokens, options=ChunkedExecutionOptions(chunk_tokens=64))
+    # Chunked prefilling keeps the KV cache of every layer for the whole pass.
+    chunked_kv_tags = [t for t in chunked.tracker.live_tags() if t.startswith("kv.layer")]
+    hybrid_kv_tags = [t for t in hybrid.tracker.live_tags() if t.startswith("kv.layer")]
+    assert len(chunked_kv_tags) == model.config.num_layers
+    assert hybrid_kv_tags == []
+
+
+def test_hybrid_retain_kv_option_keeps_all_layers(model, tokens):
+    result = model.prefill_hybrid(tokens, retain_kv=True)
+    kv_tags = [t for t in result.tracker.live_tags() if t.startswith("kv.layer")]
+    assert len(kv_tags) == model.config.num_layers
+
+
+def test_constrained_probabilities_sum_to_one(model, tokens):
+    result = model.prefill_full(tokens)
+    probabilities = result.constrained_probabilities([3, 17])
+    assert sum(probabilities.values()) == pytest.approx(1.0)
+    assert set(probabilities) == {3, 17}
+    assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+
+def test_constrained_probabilities_identical_across_paths(model, tokens):
+    """The prefill-only application contract: the Yes/No score is path-independent."""
+    full = model.prefill_full(tokens).constrained_probabilities([1, 2])
+    hybrid = model.prefill_hybrid(tokens).constrained_probabilities([1, 2])
+    assert full[1] == pytest.approx(hybrid[1], rel=1e-9)
+
+
+def test_constrained_probabilities_empty_list_rejected(model, tokens):
+    result = model.prefill_full(tokens)
+    with pytest.raises(ValueError):
+        result.constrained_probabilities([])
+
+
+def test_different_seeds_produce_different_models(tokens):
+    a = MicroTransformer(seed=1).prefill_full(tokens)
+    b = MicroTransformer(seed=2).prefill_full(tokens)
+    assert not np.allclose(a.logits, b.logits)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        MicroTransformerConfig(num_heads=6, num_kv_heads=4)
+    with pytest.raises(ConfigurationError):
+        MicroTransformerConfig(hidden_size=100, num_heads=8, head_dim=8)
+
+
+def test_invalid_chunk_size_rejected(model, tokens):
+    with pytest.raises(ValueError):
+        model.prefill_chunked(tokens, chunk_tokens=0)

@@ -1,0 +1,88 @@
+"""Tests for the computation-graph IR and the virtual-layer grouping pass."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.execution.tensor_graph import (
+    ComputationGraph,
+    GraphNode,
+    OpKind,
+    VirtualLayer,
+    build_transformer_graph,
+    group_chunkable_operations,
+)
+from repro.model.config import LLAMA_3_1_8B
+
+
+def test_build_graph_node_count():
+    graph = build_transformer_graph(LLAMA_3_1_8B)
+    # embedding + 10 ops per block + final norm
+    assert len(graph) == 1 + 10 * LLAMA_3_1_8B.num_layers + 1
+
+
+def test_graph_has_one_attention_per_block():
+    graph = build_transformer_graph(LLAMA_3_1_8B)
+    assert len(graph.attention_nodes) == LLAMA_3_1_8B.num_layers
+
+
+def test_all_non_attention_ops_are_positionwise():
+    graph = build_transformer_graph(LLAMA_3_1_8B)
+    for node in graph.positionwise_nodes:
+        assert node.kind is not OpKind.ATTENTION
+        assert node.kind.is_positionwise
+
+
+def test_graph_rejects_duplicate_names():
+    graph = ComputationGraph()
+    graph.add(GraphNode("a", OpKind.LINEAR, (), 16))
+    with pytest.raises(ConfigurationError):
+        graph.add(GraphNode("a", OpKind.LINEAR, (), 16))
+
+
+def test_graph_rejects_unknown_dependencies():
+    graph = ComputationGraph()
+    with pytest.raises(ConfigurationError):
+        graph.add(GraphNode("b", OpKind.LINEAR, ("missing",), 16))
+
+
+def test_grouping_alternates_virtual_layers_and_attention():
+    graph = build_transformer_graph(LLAMA_3_1_8B)
+    plan = group_chunkable_operations(graph)
+    kinds = ["attn" if isinstance(item, GraphNode) else "virtual" for item in plan]
+    # Never two attention ops in a row, and the plan starts/ends position-wise.
+    assert kinds[0] == "virtual"
+    assert kinds[-1] == "virtual"
+    for left, right in zip(kinds, kinds[1:]):
+        assert not (left == "attn" and right == "attn")
+
+
+def test_grouping_counts():
+    graph = build_transformer_graph(LLAMA_3_1_8B)
+    plan = group_chunkable_operations(graph)
+    attention = [item for item in plan if isinstance(item, GraphNode)]
+    virtual = [item for item in plan if isinstance(item, VirtualLayer)]
+    assert len(attention) == LLAMA_3_1_8B.num_layers
+    assert len(virtual) == LLAMA_3_1_8B.num_layers + 1
+
+
+def test_grouping_preserves_every_positionwise_op():
+    graph = build_transformer_graph(LLAMA_3_1_8B)
+    plan = group_chunkable_operations(graph)
+    grouped_ops = [node.name for item in plan if isinstance(item, VirtualLayer)
+                   for node in item.nodes]
+    original_ops = [node.name for node in graph.positionwise_nodes]
+    assert grouped_ops == original_ops
+
+
+def test_virtual_layer_peak_width_is_mlp_gate_up():
+    graph = build_transformer_graph(LLAMA_3_1_8B)
+    plan = group_chunkable_operations(graph)
+    widest = max(item.peak_intermediate_width for item in plan
+                 if isinstance(item, VirtualLayer))
+    assert widest == 2 * LLAMA_3_1_8B.intermediate_size
+
+
+def test_lm_head_inclusion():
+    graph = build_transformer_graph(LLAMA_3_1_8B, include_lm_head=True)
+    assert graph.nodes[-1].name == "lm_head"
+    assert graph.nodes[-1].output_width == LLAMA_3_1_8B.vocab_size

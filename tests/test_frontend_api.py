@@ -1,0 +1,105 @@
+"""Tests for the prefill-only API schema and parsing."""
+
+import json
+
+import pytest
+
+from repro.frontend.api import (
+    APIValidationError,
+    CompletionChoice,
+    CompletionRequest,
+    CompletionResponse,
+    TokenProbability,
+    UsageInfo,
+    parse_completion_request,
+)
+
+
+def test_valid_request_defaults():
+    request = CompletionRequest(prompt="Should we recommend this? Answer:")
+    assert request.allowed_outputs == ("Yes", "No")
+    assert request.max_tokens == 1
+    assert request.user == "default"
+
+
+def test_empty_prompt_rejected():
+    with pytest.raises(APIValidationError):
+        CompletionRequest(prompt="")
+
+
+def test_multi_token_output_rejected():
+    """The API enforces the prefill-only contract: exactly one output token."""
+    with pytest.raises(APIValidationError):
+        CompletionRequest(prompt="hello", max_tokens=16)
+
+
+def test_allowed_outputs_validation():
+    with pytest.raises(APIValidationError):
+        CompletionRequest(prompt="hello", allowed_outputs=("Yes",))
+    with pytest.raises(APIValidationError):
+        CompletionRequest(prompt="hello", allowed_outputs=("Yes", "Yes"))
+
+
+def test_parse_payload_native_fields():
+    request = parse_completion_request({
+        "prompt": "credit check",
+        "allowed_outputs": ["Approve", "Reject"],
+        "user": "applicant-3",
+        "request_id": "req-9",
+    })
+    assert request.allowed_outputs == ("Approve", "Reject")
+    assert request.user == "applicant-3"
+    assert request.request_id == "req-9"
+
+
+def test_parse_payload_openai_alias():
+    request = parse_completion_request({
+        "prompt": "p", "logit_bias_tokens": ["A", "B"], "max_tokens": 1,
+    })
+    assert request.allowed_outputs == ("A", "B")
+
+
+def test_parse_payload_rejects_unknown_fields():
+    with pytest.raises(APIValidationError):
+        parse_completion_request({"prompt": "p", "temperature": 0.7})
+
+
+def test_parse_payload_rejects_non_dict():
+    with pytest.raises(APIValidationError):
+        parse_completion_request(["prompt"])  # type: ignore[arg-type]
+
+
+def test_choice_probability_lookup():
+    choice = CompletionChoice(
+        text="Yes",
+        probabilities=(TokenProbability("Yes", 0.8), TokenProbability("No", 0.2)),
+    )
+    assert choice.probability_of("No") == 0.2
+    with pytest.raises(KeyError):
+        choice.probability_of("Maybe")
+
+
+def test_usage_total():
+    usage = UsageInfo(prompt_tokens=1234)
+    assert usage.total_tokens == 1235
+
+
+def test_response_serialisation_round_trips_through_json():
+    response = CompletionResponse(
+        request_id="req-1",
+        model="prefillonly-micro",
+        choice=CompletionChoice(
+            text="Yes",
+            probabilities=(TokenProbability("Yes", 0.75), TokenProbability("No", 0.25)),
+        ),
+        usage=UsageInfo(prompt_tokens=100),
+        cached_prompt_tokens=64,
+        latency_seconds=0.012,
+    )
+    payload = json.loads(response.to_json())
+    assert payload["id"] == "req-1"
+    assert payload["object"] == "text_completion"
+    assert payload["choices"][0]["text"] == "Yes"
+    assert payload["choices"][0]["logprobs"]["top_logprobs"][0]["No"] == 0.25
+    assert payload["usage"]["total_tokens"] == 101
+    assert payload["prefillonly"]["cached_prompt_tokens"] == 64

@@ -1,0 +1,104 @@
+"""Tests for GPU specs, interconnects, and the hardware setup registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import (
+    HARDWARE_SETUPS,
+    ClusterSpec,
+    get_hardware_setup,
+    list_hardware_setups,
+    make_cluster,
+)
+from repro.hardware.gpu import A100_40GB, H100_80GB, L4, get_gpu, list_gpus
+from repro.hardware.interconnect import (
+    NVLINK,
+    PCIE_GEN4,
+    allreduce_time,
+    get_interconnect,
+    point_to_point_time,
+)
+
+
+def test_gpu_registry():
+    assert set(list_gpus()) == {"l4", "a100-40gb", "h100-80gb"}
+    assert get_gpu("l4") is L4
+    with pytest.raises(ConfigurationError):
+        get_gpu("tpu-v5")
+
+
+def test_gpu_memory_ordering():
+    assert L4.memory_bytes < A100_40GB.memory_bytes < H100_80GB.memory_bytes
+
+
+def test_gpu_compute_ordering():
+    assert L4.bf16_flops < A100_40GB.bf16_flops < H100_80GB.bf16_flops
+
+
+def test_fp8_path_selected_for_quantised_weights():
+    assert H100_80GB.matmul_flops(1.0) == H100_80GB.fp8_flops
+    assert H100_80GB.matmul_flops(2.0) == H100_80GB.bf16_flops
+
+
+def test_sustained_flops_below_peak():
+    assert L4.sustained_flops(2.0) < L4.bf16_flops
+
+
+def test_interconnect_registry():
+    assert get_interconnect("nvlink") is NVLINK
+    with pytest.raises(ConfigurationError):
+        get_interconnect("infiniband")
+
+
+def test_nvlink_is_much_faster_than_pcie():
+    assert NVLINK.bandwidth > 10 * PCIE_GEN4.bandwidth
+
+
+def test_allreduce_time_scales_with_message_size():
+    small = allreduce_time(1 << 20, 2, PCIE_GEN4)
+    large = allreduce_time(1 << 30, 2, PCIE_GEN4)
+    assert large > 100 * small
+
+
+def test_allreduce_on_one_gpu_is_free():
+    assert allreduce_time(1 << 30, 1, PCIE_GEN4) == 0.0
+
+
+def test_allreduce_requires_positive_gpus():
+    with pytest.raises(ConfigurationError):
+        allreduce_time(1024, 0, PCIE_GEN4)
+
+
+def test_point_to_point_includes_latency():
+    assert point_to_point_time(0, NVLINK) == pytest.approx(NVLINK.latency)
+
+
+def test_hardware_setup_registry_matches_table3():
+    assert list_hardware_setups() == ["l4", "a100", "h100", "h100-nvlink"]
+    assert get_hardware_setup("l4").model_name == "llama-3.1-8b"
+    assert get_hardware_setup("a100").model_name == "qwen-32b-fp8"
+    assert get_hardware_setup("h100").model_name == "llama-3.3-70b-fp8"
+    assert get_hardware_setup("h100-nvlink").cluster.interconnect is NVLINK
+    with pytest.raises(ConfigurationError):
+        get_hardware_setup("tpu-pod")
+
+
+def test_every_setup_has_two_gpus():
+    for setup in HARDWARE_SETUPS.values():
+        assert setup.cluster.num_gpus == 2
+
+
+def test_cluster_total_memory():
+    cluster = make_cluster("l4", num_gpus=2)
+    assert cluster.total_memory_bytes == 2 * L4.memory_bytes
+
+
+def test_cluster_requires_at_least_one_gpu():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(gpu=L4, num_gpus=0, interconnect=PCIE_GEN4)
+
+
+def test_setup_describe_includes_scenario():
+    info = get_hardware_setup("h100-nvlink").describe()
+    assert info["scenario"] == "High-end GPU w/ NVLink"
+    assert info["model"] == "llama-3.3-70b-fp8"

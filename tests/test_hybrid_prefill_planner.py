@@ -1,0 +1,65 @@
+"""Tests for the hybrid prefilling planner."""
+
+import pytest
+
+from repro.core.hybrid_prefill import HybridPrefillPlanner
+from repro.model.config import LLAMA_3_1_8B
+from repro.model.memory import MemoryModel, PrefillMode
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return HybridPrefillPlanner(LLAMA_3_1_8B, chunk_tokens=2048)
+
+
+def test_plan_counts_match_model(planner):
+    plan = planner.plan()
+    assert plan.num_attention_ops == LLAMA_3_1_8B.num_layers
+    assert plan.num_virtual_layers == LLAMA_3_1_8B.num_layers + 1
+    assert plan.chunk_tokens == 2048
+
+
+def test_largest_group_width_is_mlp_gate_up(planner):
+    plan = planner.plan()
+    assert plan.largest_group_width == 2 * LLAMA_3_1_8B.intermediate_size
+
+
+def test_peak_activation_scales_mostly_with_resident_bytes(planner):
+    plan = planner.plan()
+    small = plan.peak_activation_bytes(10_000)
+    large = plan.peak_activation_bytes(100_000)
+    # The chunked part is constant, so the growth is the per-token resident term.
+    assert large - small == pytest.approx(90_000 * plan.resident_bytes_per_token, rel=1e-6)
+
+
+def test_plan_matches_memory_model(planner):
+    """The planner's activation estimate and the memory model must agree."""
+    memory = MemoryModel(LLAMA_3_1_8B)
+    tokens = 32_768
+    plan_estimate = planner.plan().peak_activation_bytes(tokens)
+    model_estimate = memory.activation_peak_bytes(
+        tokens, mode=PrefillMode.HYBRID, chunk_tokens=2048
+    )
+    assert plan_estimate == pytest.approx(model_estimate, rel=0.25)
+
+
+def test_peak_memory_includes_weights(planner):
+    total = planner.peak_memory_bytes(32_768)
+    assert total > LLAMA_3_1_8B.weight_bytes
+
+
+def test_graph_and_plan_are_cached(planner):
+    assert planner.graph() is planner.graph()
+    assert planner.plan_items() is planner.plan_items()
+
+
+def test_invalid_chunk_size():
+    with pytest.raises(ValueError):
+        HybridPrefillPlanner(LLAMA_3_1_8B, chunk_tokens=0)
+
+
+def test_smaller_chunk_reduces_chunked_bytes():
+    small = HybridPrefillPlanner(LLAMA_3_1_8B, chunk_tokens=256).plan()
+    large = HybridPrefillPlanner(LLAMA_3_1_8B, chunk_tokens=4096).plan()
+    assert small.chunked_bytes < large.chunked_bytes
+    assert small.resident_bytes_per_token == large.resident_bytes_per_token

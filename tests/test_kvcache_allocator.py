@@ -1,0 +1,85 @@
+"""Tests for the paged block allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.kvcache.allocator import BlockAllocator
+
+
+def test_allocate_and_free_round_trip():
+    allocator = BlockAllocator(num_blocks=4, block_size=16)
+    block = allocator.allocate()
+    assert allocator.num_free_blocks == 3
+    assert allocator.num_allocated_blocks == 1
+    allocator.free(block)
+    assert allocator.num_free_blocks == 4
+
+
+def test_capacity_tokens():
+    allocator = BlockAllocator(num_blocks=10, block_size=256)
+    assert allocator.capacity_tokens == 2560
+
+
+def test_exhaustion_raises():
+    allocator = BlockAllocator(num_blocks=2, block_size=16)
+    allocator.allocate()
+    allocator.allocate()
+    with pytest.raises(AllocationError):
+        allocator.allocate()
+
+
+def test_allocate_many_is_atomic():
+    allocator = BlockAllocator(num_blocks=3, block_size=16)
+    with pytest.raises(AllocationError):
+        allocator.allocate_many(4)
+    assert allocator.num_free_blocks == 3
+    blocks = allocator.allocate_many(3)
+    assert len(blocks) == 3
+    assert allocator.num_free_blocks == 0
+
+
+def test_double_free_rejected():
+    allocator = BlockAllocator(num_blocks=2, block_size=16)
+    block = allocator.allocate()
+    allocator.free(block)
+    with pytest.raises(AllocationError):
+        allocator.free(block)
+
+
+def test_freeing_pinned_block_rejected():
+    allocator = BlockAllocator(num_blocks=2, block_size=16)
+    block = allocator.allocate()
+    block.pin()
+    with pytest.raises(AllocationError):
+        allocator.free(block)
+    block.unpin()
+    allocator.free(block)
+
+
+def test_get_returns_allocated_block():
+    allocator = BlockAllocator(num_blocks=2, block_size=16)
+    block = allocator.allocate(content_hash=42, num_tokens=16)
+    assert allocator.get(block.block_id) is block
+    with pytest.raises(AllocationError):
+        allocator.get(999)
+
+
+def test_block_ids_are_unique_while_allocated():
+    allocator = BlockAllocator(num_blocks=8, block_size=16)
+    blocks = allocator.allocate_many(8)
+    assert len({b.block_id for b in blocks}) == 8
+
+
+def test_reset_returns_everything():
+    allocator = BlockAllocator(num_blocks=4, block_size=16)
+    allocator.allocate_many(4)
+    allocator.reset()
+    assert allocator.num_free_blocks == 4
+    assert allocator.num_allocated_blocks == 0
+
+
+def test_invalid_construction():
+    with pytest.raises(AllocationError):
+        BlockAllocator(num_blocks=-1, block_size=16)
+    with pytest.raises(AllocationError):
+        BlockAllocator(num_blocks=4, block_size=0)

@@ -1,0 +1,86 @@
+"""Tests for the CPU offload store."""
+
+import pytest
+
+from repro.hardware.interconnect import NVLINK, PCIE_GEN4
+from repro.kvcache.offload import CPUOffloadStore
+
+
+BLOCK_BYTES = 1 << 20  # 1 MiB per block
+
+
+def test_store_and_match():
+    store = CPUOffloadStore(capacity_bytes=16 * BLOCK_BYTES, block_bytes=BLOCK_BYTES)
+    store.store([1, 2, 3])
+    assert 2 in store
+    assert store.match_length([1, 2, 3, 4]) == 3
+    assert store.match_length([9, 1, 2]) == 0
+
+
+def test_load_returns_prefix_and_time():
+    store = CPUOffloadStore(capacity_bytes=16 * BLOCK_BYTES, block_bytes=BLOCK_BYTES)
+    store.store([1, 2, 3])
+    loaded, seconds = store.load([1, 2, 5])
+    assert loaded == 2
+    assert seconds > 0
+
+
+def test_transfer_time_scales_with_blocks():
+    store = CPUOffloadStore(capacity_bytes=64 * BLOCK_BYTES, block_bytes=BLOCK_BYTES)
+    one = store.store([1])
+    many = store.store([10, 11, 12, 13, 14, 15, 16, 17])
+    assert many > one
+
+
+def test_faster_link_reduces_transfer_time():
+    slow = CPUOffloadStore(capacity_bytes=8 * BLOCK_BYTES, block_bytes=BLOCK_BYTES, link=PCIE_GEN4)
+    fast = CPUOffloadStore(capacity_bytes=8 * BLOCK_BYTES, block_bytes=BLOCK_BYTES, link=NVLINK)
+    assert fast.store([1, 2, 3, 4]) < slow.store([1, 2, 3, 4])
+
+
+def test_lru_eviction_when_full():
+    store = CPUOffloadStore(capacity_bytes=2 * BLOCK_BYTES, block_bytes=BLOCK_BYTES)
+    store.store([1, 2])
+    store.store([3])
+    assert 1 not in store
+    assert 2 in store and 3 in store
+    assert store.stats.evicted_blocks == 1
+
+
+def test_restoring_existing_block_refreshes_lru():
+    store = CPUOffloadStore(capacity_bytes=2 * BLOCK_BYTES, block_bytes=BLOCK_BYTES)
+    store.store([1, 2])
+    store.store([1])       # refresh 1
+    store.store([3])       # evicts 2, not 1
+    assert 1 in store
+    assert 2 not in store
+
+
+def test_zero_capacity_stores_nothing():
+    store = CPUOffloadStore(capacity_bytes=0, block_bytes=BLOCK_BYTES)
+    store.store([1, 2, 3])
+    assert store.num_blocks == 0
+
+
+def test_stats_counts():
+    store = CPUOffloadStore(capacity_bytes=8 * BLOCK_BYTES, block_bytes=BLOCK_BYTES)
+    store.store([1, 2, 3])
+    store.load([1, 2])
+    stats = store.stats
+    assert stats.stored_blocks == 3
+    assert stats.loaded_blocks == 2
+    assert stats.current_blocks == 3
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        CPUOffloadStore(capacity_bytes=-1, block_bytes=BLOCK_BYTES)
+    with pytest.raises(ValueError):
+        CPUOffloadStore(capacity_bytes=BLOCK_BYTES, block_bytes=0)
+
+
+def test_clear():
+    store = CPUOffloadStore(capacity_bytes=8 * BLOCK_BYTES, block_bytes=BLOCK_BYTES)
+    store.store([1, 2, 3])
+    store.clear()
+    assert store.num_blocks == 0

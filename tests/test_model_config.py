@@ -1,0 +1,82 @@
+"""Tests for the model architecture registry and derived sizes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.config import (
+    LLAMA_3_1_8B,
+    LLAMA_3_3_70B_FP8,
+    QWEN_32B_FP8,
+    ModelConfig,
+    get_model,
+    list_models,
+)
+
+
+def test_registry_contains_the_three_paper_models():
+    assert set(list_models()) == {"llama-3.1-8b", "qwen-32b-fp8", "llama-3.3-70b-fp8"}
+
+
+def test_get_model_unknown_name_raises():
+    with pytest.raises(ConfigurationError):
+        get_model("gpt-5")
+
+
+def test_llama8b_parameter_count_is_about_8_billion():
+    params = LLAMA_3_1_8B.num_parameters
+    assert 7.0e9 < params < 9.0e9
+
+
+def test_qwen32b_parameter_count_is_about_32_billion():
+    params = QWEN_32B_FP8.num_parameters
+    assert 30e9 < params < 37e9
+
+
+def test_llama70b_parameter_count_is_about_70_billion():
+    params = LLAMA_3_3_70B_FP8.num_parameters
+    assert 65e9 < params < 75e9
+
+
+def test_llama8b_kv_cache_size_matches_paper_example():
+    """§2.1: a 100,000-token request is roughly 12 GB of KV cache on Llama-3.1-8B."""
+    total_gib = 100_000 * LLAMA_3_1_8B.kv_bytes_per_token / (1 << 30)
+    assert 10 < total_gib < 14
+
+
+def test_llama8b_mlp_intermediate_matches_figure4():
+    """Figure 4: the fused gate+up tensor has 28,672 elements per token."""
+    assert LLAMA_3_1_8B.mlp_intermediate_elements_per_token == 28_672
+
+
+def test_fp8_models_have_smaller_weight_footprint():
+    assert QWEN_32B_FP8.weight_bytes < QWEN_32B_FP8.num_parameters * 2
+    assert LLAMA_3_3_70B_FP8.weight_bytes == pytest.approx(
+        LLAMA_3_3_70B_FP8.num_parameters, rel=0.01
+    )
+
+
+def test_describe_reports_key_dimensions():
+    info = LLAMA_3_1_8B.describe()
+    assert info["num_layers"] == 32
+    assert info["hidden_size"] == 4096
+    assert info["parameters_billions"] == pytest.approx(8.0, abs=1.0)
+
+
+def test_invalid_head_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        ModelConfig(
+            name="bad",
+            display_name="bad",
+            num_layers=2,
+            hidden_size=64,
+            num_attention_heads=6,
+            num_kv_heads=4,
+            head_dim=16,
+            intermediate_size=128,
+            vocab_size=100,
+        )
+
+
+def test_q_and_kv_dims():
+    assert LLAMA_3_1_8B.q_dim == 4096
+    assert LLAMA_3_1_8B.kv_dim == 1024

@@ -1,0 +1,60 @@
+"""Tests for the FLOP model."""
+
+import pytest
+
+from repro.model.config import LLAMA_3_1_8B
+from repro.model.flops import FlopsModel
+
+
+@pytest.fixture(scope="module")
+def flops():
+    return FlopsModel(LLAMA_3_1_8B)
+
+
+def test_dense_flops_scale_linearly_with_tokens(flops):
+    one = flops.prefill(1000).dense_flops
+    two = flops.prefill(2000).dense_flops
+    assert two == pytest.approx(2 * one)
+
+
+def test_dense_flops_match_2nd_rule(flops):
+    breakdown = flops.prefill(1000)
+    assert breakdown.dense_flops == pytest.approx(2 * LLAMA_3_1_8B.num_parameters * 1000)
+
+
+def test_attention_flops_scale_quadratically(flops):
+    small = flops.prefill(1000).attention_flops
+    large = flops.prefill(4000).attention_flops
+    assert large / small == pytest.approx(16.0, rel=0.05)
+
+
+def test_cached_prefix_reduces_dense_flops(flops):
+    cold = flops.prefill(10_000)
+    warm = flops.prefill(1_000, num_cached_tokens=9_000)
+    assert warm.dense_flops == pytest.approx(cold.dense_flops / 10)
+    assert warm.total < cold.total
+
+
+def test_cached_prefix_attention_still_covers_full_context(flops):
+    warm = flops.prefill(1_000, num_cached_tokens=9_000)
+    cold_short = flops.prefill(1_000)
+    assert warm.attention_flops > cold_short.attention_flops
+
+
+def test_decode_step_is_tiny_compared_to_prefill(flops):
+    prefill = flops.prefill(2048).total
+    decode = flops.decode_step(2048).total
+    assert decode < prefill / 100
+
+
+def test_decode_sequence_accumulates(flops):
+    total = flops.decode_sequence(1000, 10).total
+    single = flops.decode_step(1000).total
+    assert total > 10 * single * 0.99
+
+
+def test_negative_tokens_rejected(flops):
+    with pytest.raises(ValueError):
+        flops.prefill(-1)
+    with pytest.raises(ValueError):
+        flops.decode_step(-5)

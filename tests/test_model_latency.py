@@ -1,0 +1,101 @@
+"""Tests for the latency model (prefill, decode, parallelism, chunking)."""
+
+import pytest
+
+from repro.hardware.gpu import H100_80GB, L4
+from repro.hardware.interconnect import NVLINK, PCIE_GEN4
+from repro.model.config import LLAMA_3_1_8B, LLAMA_3_3_70B_FP8
+from repro.model.latency import LatencyModel, chunked_prefill_penalty
+from repro.model.memory import PrefillMode
+
+
+@pytest.fixture(scope="module")
+def latency_l4():
+    return LatencyModel(LLAMA_3_1_8B, L4)
+
+
+@pytest.fixture(scope="module")
+def latency_h100_pcie():
+    return LatencyModel(LLAMA_3_3_70B_FP8, H100_80GB, PCIE_GEN4)
+
+
+@pytest.fixture(scope="module")
+def latency_h100_nvlink():
+    return LatencyModel(LLAMA_3_3_70B_FP8, H100_80GB, NVLINK)
+
+
+def test_prefill_time_increases_with_tokens(latency_l4):
+    short = latency_l4.prefill_time(1_000).total
+    long = latency_l4.prefill_time(10_000).total
+    assert long > short > 0
+
+
+def test_prefix_cache_hit_reduces_latency(latency_l4):
+    cold = latency_l4.prefill_time(14_000).total
+    warm = latency_l4.prefill_time(500, num_cached_tokens=13_500).total
+    assert warm < cold / 5
+
+
+def test_chunked_prefill_penalty_reference_point():
+    """§2.5: chunking a 20,000-token input at 512 tokens costs about 14%."""
+    assert chunked_prefill_penalty(20_000, 512) == pytest.approx(0.14, abs=0.02)
+
+
+def test_chunked_prefill_penalty_zero_for_short_inputs():
+    assert chunked_prefill_penalty(400, 512) == 0.0
+
+
+def test_chunked_prefill_penalty_is_bounded():
+    assert chunked_prefill_penalty(1_000_000, 128) <= 0.6
+
+
+def test_chunked_mode_slower_than_full(latency_l4):
+    full = latency_l4.prefill_time(20_000, mode=PrefillMode.FULL).total
+    chunked = latency_l4.prefill_time(20_000, mode=PrefillMode.CHUNKED, chunk_tokens=512).total
+    assert chunked > full
+    assert chunked / full == pytest.approx(1.14, abs=0.05)
+
+
+def test_hybrid_mode_adds_only_small_overhead(latency_l4):
+    full = latency_l4.prefill_time(20_000, mode=PrefillMode.FULL).total
+    hybrid = latency_l4.prefill_time(20_000, mode=PrefillMode.HYBRID, chunk_tokens=2048).total
+    assert hybrid / full < 1.02
+
+
+def test_tensor_parallel_halves_compute_but_adds_communication(latency_h100_pcie):
+    single = latency_h100_pcie.prefill_time(10_000)
+    parallel = latency_h100_pcie.prefill_time(10_000, tensor_parallel=2)
+    assert parallel.compute_time == pytest.approx(single.compute_time / 2)
+    assert parallel.communication_time > 0
+    assert single.communication_time == 0
+
+
+def test_nvlink_makes_tensor_parallel_much_cheaper(latency_h100_pcie, latency_h100_nvlink):
+    pcie = latency_h100_pcie.prefill_time(10_000, tensor_parallel=2)
+    nvlink = latency_h100_nvlink.prefill_time(10_000, tensor_parallel=2)
+    assert nvlink.communication_time < pcie.communication_time / 5
+
+
+def test_tensor_parallel_without_interconnect_rejected(latency_l4):
+    with pytest.raises(ValueError):
+        latency_l4.prefill_time(1_000, tensor_parallel=2)
+
+
+def test_pipeline_parallel_latency_close_to_single_gpu(latency_h100_pcie):
+    single = latency_h100_pcie.prefill_time(10_000).total
+    pipelined = latency_h100_pcie.prefill_time(10_000, pipeline_parallel=2).total
+    assert pipelined == pytest.approx(single, rel=0.15)
+
+
+def test_prefill_only_vs_generative_motivation(latency_l4):
+    """§2.3: 2048-in / 256-out is noticeably slower than 2048-in / 1-out."""
+    prefill_only = latency_l4.request_time(2048, 1)
+    generative = latency_l4.request_time(2048, 256, batch_size=64)
+    ratio = generative / prefill_only
+    assert ratio > 1.3
+
+
+def test_zero_token_prefill_costs_only_overhead(latency_l4):
+    timing = latency_l4.prefill_time(0)
+    assert timing.compute_time == 0.0
+    assert timing.total == pytest.approx(L4.kernel_launch_overhead)

@@ -1,0 +1,63 @@
+"""Tests for the layer stack and the Figure-4 MLP tensor report."""
+
+import pytest
+
+from repro.model.config import LLAMA_3_1_8B
+from repro.model.layers import LayerKind, build_layer_stack, mlp_tensor_report
+
+
+def test_layer_stack_has_expected_length():
+    stack = build_layer_stack(LLAMA_3_1_8B)
+    # embedding + 4 entries per block + final norm + lm head
+    assert len(stack) == 1 + 4 * LLAMA_3_1_8B.num_layers + 2
+
+
+def test_layer_stack_without_lm_head():
+    stack = build_layer_stack(LLAMA_3_1_8B, include_lm_head=False)
+    assert stack[-1].kind is LayerKind.NORM
+    assert all(spec.kind is not LayerKind.LM_HEAD for spec in stack)
+
+
+def test_attention_layers_are_not_chunkable():
+    stack = build_layer_stack(LLAMA_3_1_8B)
+    attention = [spec for spec in stack if spec.kind is LayerKind.ATTENTION]
+    assert len(attention) == LLAMA_3_1_8B.num_layers
+    assert all(not spec.is_chunkable for spec in attention)
+
+
+def test_all_non_attention_layers_are_chunkable():
+    stack = build_layer_stack(LLAMA_3_1_8B)
+    for spec in stack:
+        if spec.kind is not LayerKind.ATTENTION:
+            assert spec.is_chunkable
+
+
+def test_layer_indices_are_consecutive():
+    stack = build_layer_stack(LLAMA_3_1_8B)
+    assert [spec.index for spec in stack] == list(range(len(stack)))
+
+
+def test_mlp_peak_intermediate_width():
+    stack = build_layer_stack(LLAMA_3_1_8B)
+    mlp = next(spec for spec in stack if spec.kind is LayerKind.MLP)
+    assert mlp.peak_intermediate_width == 2 * LLAMA_3_1_8B.intermediate_size
+
+
+def test_figure4_ratios():
+    """Figure 4: intermediate_1 is 14x one-layer KV, intermediate_2 is 7x."""
+    report = mlp_tensor_report(LLAMA_3_1_8B)
+    assert report.gate_up_vs_one_layer_kv == pytest.approx(14.0)
+    assert report.down_input_vs_one_layer_kv == pytest.approx(7.0)
+    assert report.input_elements == 4096
+    assert report.gate_up_elements == 28_672
+    assert report.down_input_elements == 14_336
+
+
+def test_figure4_rows_scale_with_tokens():
+    report = mlp_tensor_report(LLAMA_3_1_8B)
+    rows = report.rows(num_tokens=32_768, bytes_per_element=2)
+    by_name = {row["tensor"]: row for row in rows}
+    gate_up = by_name["intermediate_1 (gate+up)"]
+    assert gate_up["total_elements"] == 28_672 * 32_768
+    # ~1.75 GiB for the gate+up tensor of a 32k-token prefill in bf16.
+    assert 1.5 < gate_up["total_gib"] < 2.0

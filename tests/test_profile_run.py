@@ -1,0 +1,83 @@
+"""Tests for the profile run (MIL-driven KV budgeting)."""
+
+import pytest
+
+from repro.core.profile_run import DEFAULT_GPU_MEMORY_UTILIZATION, run_profile
+from repro.errors import CapacityError
+from repro.model.memory import PrefillMode
+
+
+def test_hybrid_profile_leaves_kv_budget(llama_8b, l4_gpu):
+    result = run_profile(llama_8b, l4_gpu, max_input_length=32_000, mode=PrefillMode.HYBRID,
+                         retain_kv_layers=1)
+    assert result.kv_budget_bytes > 0
+    assert result.kv_budget_tokens > 0
+    assert not result.requires_pool_for_inflight
+
+
+def test_full_mode_requires_pool_for_inflight(llama_8b, l4_gpu):
+    result = run_profile(llama_8b, l4_gpu, max_input_length=10_000, mode=PrefillMode.FULL)
+    assert result.requires_pool_for_inflight
+    assert result.kv_budget_tokens >= 10_000
+
+
+def test_full_mode_rejects_lengths_beyond_pool(llama_8b, l4_gpu):
+    with pytest.raises(CapacityError):
+        run_profile(llama_8b, l4_gpu, max_input_length=120_000, mode=PrefillMode.FULL)
+
+
+def test_hybrid_supports_much_longer_inputs_than_full(llama_8b, l4_gpu):
+    # 100k tokens: impossible for FULL on an L4, fine for HYBRID.
+    with pytest.raises(CapacityError):
+        run_profile(llama_8b, l4_gpu, max_input_length=100_000, mode=PrefillMode.FULL)
+    result = run_profile(llama_8b, l4_gpu, max_input_length=100_000, mode=PrefillMode.HYBRID,
+                         retain_kv_layers=1)
+    assert result.kv_budget_bytes >= 0
+
+
+def test_larger_mil_leaves_smaller_budget(llama_8b, l4_gpu):
+    small = run_profile(llama_8b, l4_gpu, max_input_length=8_000, mode=PrefillMode.HYBRID,
+                        retain_kv_layers=1)
+    large = run_profile(llama_8b, l4_gpu, max_input_length=64_000, mode=PrefillMode.HYBRID,
+                        retain_kv_layers=1)
+    assert large.kv_budget_tokens < small.kv_budget_tokens
+    assert large.peak_forward_bytes > small.peak_forward_bytes
+
+
+def test_tensor_parallel_shards_reduce_peak(llama_70b, h100_gpu):
+    single = run_profile(llama_70b, h100_gpu, max_input_length=10_000, mode=PrefillMode.FULL)
+    sharded = run_profile(llama_70b, h100_gpu, max_input_length=10_000, mode=PrefillMode.FULL,
+                          tensor_parallel=2)
+    assert sharded.peak_forward_bytes < single.peak_forward_bytes
+
+
+def test_model_too_big_for_gpu_raises(llama_70b, l4_gpu):
+    with pytest.raises(CapacityError):
+        run_profile(llama_70b, l4_gpu, max_input_length=1_000, mode=PrefillMode.FULL)
+
+
+def test_invalid_mil_rejected(llama_8b, l4_gpu):
+    with pytest.raises(CapacityError):
+        run_profile(llama_8b, l4_gpu, max_input_length=0, mode=PrefillMode.HYBRID)
+
+
+def test_peak_never_exceeds_gpu_memory(llama_8b, l4_gpu):
+    result = run_profile(llama_8b, l4_gpu, max_input_length=20_000, mode=PrefillMode.CHUNKED)
+    assert result.peak_forward_bytes <= l4_gpu.memory_bytes
+    assert result.usable_memory_bytes == pytest.approx(
+        l4_gpu.memory_bytes * DEFAULT_GPU_MEMORY_UTILIZATION
+    )
+    assert result.peak_forward_bytes + result.kv_budget_bytes == pytest.approx(
+        result.usable_memory_bytes
+    )
+
+
+def test_gpu_memory_utilization_knob(llama_8b, l4_gpu):
+    generous = run_profile(llama_8b, l4_gpu, max_input_length=10_000, mode=PrefillMode.HYBRID,
+                           retain_kv_layers=1, gpu_memory_utilization=1.0)
+    strict = run_profile(llama_8b, l4_gpu, max_input_length=10_000, mode=PrefillMode.HYBRID,
+                         retain_kv_layers=1, gpu_memory_utilization=0.8)
+    assert strict.kv_budget_tokens < generous.kv_budget_tokens
+    with pytest.raises(CapacityError):
+        run_profile(llama_8b, l4_gpu, max_input_length=10_000, mode=PrefillMode.HYBRID,
+                    gpu_memory_utilization=1.5)

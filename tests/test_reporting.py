@@ -1,0 +1,52 @@
+"""Tests for report formatting."""
+
+from repro.analysis.reporting import format_series, format_table, to_markdown_table
+
+
+ROWS = [
+    {"engine": "prefillonly", "qps": 10.0, "feasible": True, "tokens": 14000},
+    {"engine": "paged-attention", "qps": 2.5, "feasible": False, "tokens": 11000},
+]
+
+
+def test_format_table_contains_all_cells():
+    text = format_table(ROWS, title="Engines")
+    assert "Engines" in text
+    assert "prefillonly" in text
+    assert "paged-attention" in text
+    assert "14,000" in text
+    assert "yes" in text and "no" in text
+
+
+def test_format_table_respects_column_selection():
+    text = format_table(ROWS, columns=["engine"])
+    assert "qps" not in text
+    assert "prefillonly" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="Nothing")
+
+
+def test_format_table_aligns_columns():
+    lines = format_table(ROWS).splitlines()
+    header, separator = lines[0], lines[1]
+    assert len(header) == len(separator)
+
+
+def test_markdown_table_structure():
+    text = to_markdown_table(ROWS)
+    lines = text.splitlines()
+    assert lines[0].startswith("| engine")
+    assert set(lines[1].replace("|", "").strip().split()) == {"---"}
+    assert len(lines) == 2 + len(ROWS)
+
+
+def test_markdown_table_empty():
+    assert to_markdown_table([]) == "(no rows)"
+
+
+def test_format_series():
+    text = format_series([(1.0, 2.0), (3.0, 4.0)], x_label="qps", y_label="latency")
+    assert "qps" in text and "latency" in text
+    assert "3.000" in text

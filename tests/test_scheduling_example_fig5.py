@@ -1,0 +1,58 @@
+"""Tests reproducing the Figure 5 scheduling example (A/B/C/D prefix scenario)."""
+
+import pytest
+
+from repro.analysis.scheduling_example import (
+    build_example_requests,
+    figure5_comparison,
+    run_scheduling_example,
+)
+
+
+def test_example_request_lengths_follow_paper_ordering():
+    requests = build_example_requests()
+    lengths = {name: request.num_tokens for name, request in requests.items()}
+    assert lengths["A"] < lengths["C"] < lengths["B"] < lengths["D"]
+
+
+def test_example_prefix_sharing_structure():
+    requests = build_example_requests()
+    assert requests["A"].sequence.shared_prefix_tokens(requests["D"].sequence) > 0
+    assert requests["B"].sequence.shared_prefix_tokens(requests["C"].sequence) > 0
+    assert requests["A"].sequence.shared_prefix_tokens(requests["B"].sequence) == 0
+
+
+def test_fifo_schedules_in_arrival_order_with_one_hit():
+    result = run_scheduling_example("fcfs")
+    assert result.schedule == ("A", "B", "C", "D")
+    assert result.cache_hits == 1
+    assert result.hit_requests == ("C",)
+
+
+def test_plain_srjf_schedules_by_length_with_one_hit():
+    result = run_scheduling_example("srjf")
+    assert result.schedule == ("A", "C", "B", "D")
+    assert result.cache_hits == 1
+    assert result.hit_requests == ("B",)
+
+
+def test_calibrated_srjf_reorders_d_and_gets_two_hits():
+    result = run_scheduling_example("srjf-calibrated")
+    assert result.schedule == ("A", "D", "C", "B")
+    assert result.cache_hits == 2
+    assert set(result.hit_requests) == {"D", "B"}
+
+
+def test_comparison_matches_paper_figure5():
+    """Figure 5's bottom line: calibration yields one more cache hit."""
+    results = {result.policy: result for result in figure5_comparison()}
+    assert results["fcfs"].cache_hits == 1
+    assert results["srjf"].cache_hits == 1
+    assert results["srjf-calibrated"].cache_hits == 2
+
+
+@pytest.mark.parametrize("cache_blocks", [6, 8, 10])
+def test_calibration_never_does_worse_than_plain_srjf(cache_blocks):
+    plain = run_scheduling_example("srjf", cache_blocks=cache_blocks)
+    calibrated = run_scheduling_example("srjf-calibrated", cache_blocks=cache_blocks)
+    assert calibrated.cache_hits >= plain.cache_hits

@@ -1,0 +1,67 @@
+"""Tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.simulation.arrival import (
+    BurstArrivalProcess,
+    PoissonArrivalProcess,
+    UniformArrivalProcess,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return list(get_workload("post-recommendation", num_users=4, posts_per_user=10, seed=0))
+
+
+def test_poisson_rate_matches_mean_gap(requests):
+    process = PoissonArrivalProcess(rate=10.0, seed=1)
+    assigned = process.assign(requests)
+    times = [r.arrival_time for r in assigned]
+    gaps = np.diff([0.0] + times)
+    assert np.mean(gaps) == pytest.approx(0.1, rel=0.35)
+
+
+def test_poisson_output_is_sorted(requests):
+    assigned = PoissonArrivalProcess(rate=5.0, seed=2).assign(requests)
+    times = [r.arrival_time for r in assigned]
+    assert times == sorted(times)
+
+
+def test_poisson_is_deterministic_per_seed(requests):
+    a = PoissonArrivalProcess(rate=5.0, seed=3).assign(requests)
+    b = PoissonArrivalProcess(rate=5.0, seed=3).assign(requests)
+    assert [r.request_id for r in a] == [r.request_id for r in b]
+    assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+
+def test_poisson_shuffle_interleaves_users(requests):
+    assigned = PoissonArrivalProcess(rate=5.0, seed=4, shuffle=True).assign(requests)
+    first_ten_users = {r.user_id for r in assigned[:10]}
+    assert len(first_ten_users) > 1
+
+
+def test_poisson_invalid_rate():
+    with pytest.raises(WorkloadError):
+        PoissonArrivalProcess(rate=0.0)
+
+
+def test_burst_assigns_same_time(requests):
+    assigned = BurstArrivalProcess(at_time=2.0).assign(requests)
+    assert all(r.arrival_time == 2.0 for r in assigned)
+    assert len(assigned) == len(requests)
+
+
+def test_uniform_spacing(requests):
+    assigned = UniformArrivalProcess(rate=4.0).assign(requests)
+    gaps = np.diff([r.arrival_time for r in assigned])
+    assert np.allclose(gaps, 0.25)
+
+
+def test_uniform_preserves_order_without_shuffle(requests):
+    assigned = UniformArrivalProcess(rate=4.0, shuffle=False).assign(requests)
+    ids = [r.request_id for r in assigned]
+    assert ids == sorted(ids)

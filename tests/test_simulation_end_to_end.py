@@ -1,0 +1,145 @@
+"""Integration tests: serving systems simulated end to end."""
+
+import pytest
+
+from repro.baselines import (
+    all_engine_specs,
+    paged_attention_spec,
+    pipeline_parallel_spec,
+    tensor_parallel_spec,
+)
+from repro.core.engine import prefillonly_engine_spec
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.cluster import get_hardware_setup
+from repro.simulation.arrival import BurstArrivalProcess, PoissonArrivalProcess
+from repro.simulation.server import ServingSystem
+from repro.simulation.simulator import simulate
+
+
+def build(spec, setup, trace):
+    return ServingSystem.for_setup(spec, setup, max_input_length=trace.max_request_tokens)
+
+
+def test_non_parallel_engine_gets_one_instance_per_gpu(h100_setup, small_post_trace):
+    system = build(prefillonly_engine_spec(), h100_setup, small_post_trace)
+    assert system.num_instances == 2
+
+
+def test_parallel_engine_gets_single_instance(h100_setup, small_post_trace):
+    system = build(tensor_parallel_spec(), h100_setup, small_post_trace)
+    assert system.num_instances == 1
+
+
+def test_mismatched_parallel_degree_rejected(h100_setup, small_post_trace):
+    spec = tensor_parallel_spec(degree=3)
+    with pytest.raises(ConfigurationError):
+        build(spec, h100_setup, small_post_trace)
+
+
+def test_every_request_completes_exactly_once(h100_setup, small_post_trace):
+    system = build(prefillonly_engine_spec(), h100_setup, small_post_trace)
+    requests = PoissonArrivalProcess(rate=4.0, seed=0).assign(list(small_post_trace))
+    result = simulate(system, requests)
+    assert result.num_finished + result.num_rejected == len(small_post_trace)
+    finished_ids = sorted(record.request_id for record in result.finished)
+    assert len(finished_ids) == len(set(finished_ids))
+
+
+def test_latencies_are_positive_and_consistent(h100_setup, small_post_trace):
+    system = build(prefillonly_engine_spec(), h100_setup, small_post_trace)
+    requests = PoissonArrivalProcess(rate=4.0, seed=0).assign(list(small_post_trace))
+    result = simulate(system, requests)
+    for record in result.finished:
+        assert record.finish_time > record.arrival_time
+        assert record.start_time >= record.arrival_time
+        assert record.execution_time > 0
+
+
+def test_users_stay_on_one_instance(h100_setup, small_post_trace):
+    system = build(prefillonly_engine_spec(), h100_setup, small_post_trace)
+    requests = PoissonArrivalProcess(rate=4.0, seed=0).assign(list(small_post_trace))
+    result = simulate(system, requests)
+    user_instances: dict[str, set] = {}
+    for record in result.finished:
+        user_instances.setdefault(record.user_id, set()).add(record.instance_name)
+    assert all(len(instances) == 1 for instances in user_instances.values())
+
+
+def test_prefix_caching_produces_hits_on_post_recommendation(h100_setup, small_post_trace):
+    system = build(prefillonly_engine_spec(), h100_setup, small_post_trace)
+    requests = PoissonArrivalProcess(rate=2.0, seed=0).assign(list(small_post_trace))
+    result = simulate(system, requests)
+    assert result.summary.cache_hit_rate > 0.5
+
+
+def test_higher_load_increases_latency(h100_setup, small_post_trace):
+    spec = prefillonly_engine_spec()
+    low = simulate(
+        build(spec, h100_setup, small_post_trace),
+        PoissonArrivalProcess(rate=1.0, seed=1).assign(list(small_post_trace)),
+    )
+    high = simulate(
+        build(spec, h100_setup, small_post_trace),
+        PoissonArrivalProcess(rate=50.0, seed=1).assign(list(small_post_trace)),
+    )
+    assert high.summary.mean_latency > low.summary.mean_latency
+
+
+def test_burst_arrival_measures_peak_throughput(h100_setup, small_post_trace):
+    spec = prefillonly_engine_spec()
+    burst = simulate(
+        build(spec, h100_setup, small_post_trace),
+        BurstArrivalProcess(seed=0).assign(list(small_post_trace)),
+    )
+    trickle = simulate(
+        build(spec, h100_setup, small_post_trace),
+        PoissonArrivalProcess(rate=0.5, seed=0).assign(list(small_post_trace)),
+    )
+    assert burst.summary.throughput_rps > trickle.summary.throughput_rps
+
+
+def test_prefillonly_beats_baselines_under_overload(l4_setup, small_post_trace):
+    """The headline claim at small scale: lower mean latency under high load.
+
+    Run on the L4 setup, where every engine (including PagedAttention) can
+    serve the post-recommendation workload, per Table 2.
+    """
+    requests_rate = 40.0
+    latencies = {}
+    for spec in all_engine_specs():
+        system = build(spec, l4_setup, small_post_trace)
+        requests = PoissonArrivalProcess(rate=requests_rate, seed=3).assign(
+            list(small_post_trace)
+        )
+        latencies[spec.name] = simulate(system, requests).summary.mean_latency
+    assert latencies["prefillonly"] <= min(latencies.values()) * 1.05
+
+
+def test_credit_verification_infeasible_on_a100_paged_attention(small_credit_trace):
+    """Table 2: PagedAttention cannot handle the credit workload on the A100."""
+    setup = get_hardware_setup("a100")
+    with pytest.raises(CapacityError):
+        build(paged_attention_spec(), setup, small_credit_trace)
+
+
+def test_credit_verification_feasible_for_prefillonly_on_a100(small_credit_trace):
+    setup = get_hardware_setup("a100")
+    system = build(prefillonly_engine_spec(), setup, small_credit_trace)
+    requests = PoissonArrivalProcess(rate=0.05, seed=0).assign(list(small_credit_trace))
+    result = simulate(system, requests)
+    assert result.num_finished == len(small_credit_trace)
+
+
+def test_pipeline_parallel_end_to_end(l4_setup, small_post_trace):
+    system = build(pipeline_parallel_spec(), l4_setup, small_post_trace)
+    requests = PoissonArrivalProcess(rate=2.0, seed=0).assign(list(small_post_trace))
+    result = simulate(system, requests)
+    assert result.num_finished == len(small_post_trace)
+
+
+def test_cache_stats_reported_per_instance(h100_setup, small_post_trace):
+    system = build(prefillonly_engine_spec(), h100_setup, small_post_trace)
+    requests = PoissonArrivalProcess(rate=4.0, seed=0).assign(list(small_post_trace))
+    result = simulate(system, requests)
+    assert len(result.cache_stats) == 2
+    assert all("token_hit_rate" in entry for entry in result.cache_stats)

@@ -1,0 +1,92 @@
+"""Tests for latency / throughput summaries."""
+
+import pytest
+
+from repro.core.engine import FinishedRequest
+from repro.simulation.metrics import latency_cdf, percentile, summarize_finished
+
+
+def make_record(request_id: int, arrival: float, start: float, finish: float, *,
+                tokens: int = 1000, cached: int = 0) -> FinishedRequest:
+    return FinishedRequest(
+        request_id=request_id,
+        user_id="u",
+        num_tokens=tokens,
+        cached_tokens=cached,
+        arrival_time=arrival,
+        start_time=start,
+        finish_time=finish,
+        instance_name="i0",
+        engine_name="test",
+    )
+
+
+def test_percentile_basic():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 50) == pytest.approx(2.5)
+    assert percentile(values, 100) == 4.0
+    assert percentile([], 99) == 0.0
+
+
+def test_summary_of_empty_run():
+    summary = summarize_finished([])
+    assert summary.num_requests == 0
+    assert summary.throughput_rps == 0.0
+
+
+def test_summary_latency_statistics():
+    records = [
+        make_record(0, arrival=0.0, start=0.0, finish=1.0),
+        make_record(1, arrival=0.0, start=1.0, finish=3.0),
+        make_record(2, arrival=1.0, start=3.0, finish=6.0),
+    ]
+    summary = summarize_finished(records)
+    assert summary.num_requests == 3
+    assert summary.mean_latency == pytest.approx((1.0 + 3.0 + 5.0) / 3)
+    assert summary.max_latency == 5.0
+    assert summary.makespan == pytest.approx(6.0)
+    assert summary.throughput_rps == pytest.approx(0.5)
+    assert summary.mean_queueing_time == pytest.approx((0.0 + 1.0 + 2.0) / 3)
+
+
+def test_summary_cache_hit_rates():
+    records = [
+        make_record(0, 0.0, 0.0, 1.0, tokens=1000, cached=0),
+        make_record(1, 0.0, 1.0, 2.0, tokens=1000, cached=500),
+    ]
+    summary = summarize_finished(records)
+    assert summary.cache_hit_rate == 0.5
+    assert summary.token_hit_rate == 0.25
+
+
+def test_summary_counts_rejections():
+    record = make_record(0, 0.0, 0.0, 1.0)
+    rejection = make_record(1, 0.0, 0.0, 0.0)
+    summary = summarize_finished([record], [rejection])
+    assert summary.num_rejected == 1
+
+
+def test_summary_as_dict_keys():
+    record = make_record(0, 0.0, 0.0, 1.0)
+    payload = summarize_finished([record]).as_dict()
+    assert {"mean_latency_s", "p99_latency_s", "throughput_rps"} <= payload.keys()
+
+
+def test_latency_cdf_is_monotone():
+    records = [make_record(i, 0.0, 0.0, float(i + 1)) for i in range(10)]
+    cdf = latency_cdf(records)
+    latencies = [x for x, _ in cdf]
+    fractions = [y for _, y in cdf]
+    assert latencies == sorted(latencies)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_latency_cdf_downsamples():
+    records = [make_record(i, 0.0, 0.0, float(i + 1)) for i in range(500)]
+    cdf = latency_cdf(records, num_points=50)
+    assert len(cdf) == 50
+
+
+def test_latency_cdf_empty():
+    assert latency_cdf([]) == []

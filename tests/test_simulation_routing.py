@@ -1,0 +1,41 @@
+"""Tests for request routing."""
+
+import pytest
+
+from repro.simulation.routing import LeastLoadedRouter, UserIdRouter
+from repro.workloads.trace import Request, TokenSegment, TokenSequence
+
+
+def make_request(request_id: int, user: str) -> Request:
+    return Request(request_id=request_id, user_id=user,
+                   sequence=TokenSequence([TokenSegment(1, 100)]))
+
+
+def test_user_id_router_is_sticky():
+    router = UserIdRouter(num_instances=2)
+    first = router.route(make_request(0, "alice"), [0, 0])
+    for i in range(5):
+        assert router.route(make_request(i + 1, "alice"), [10, 0]) == first
+
+
+def test_user_id_router_round_robins_users():
+    router = UserIdRouter(num_instances=2)
+    targets = [router.route(make_request(i, f"user-{i}"), [0, 0]) for i in range(4)]
+    assert targets == [0, 1, 0, 1]
+
+
+def test_user_id_router_assignments_exposed():
+    router = UserIdRouter(num_instances=3)
+    router.route(make_request(0, "a"), [0, 0, 0])
+    router.route(make_request(1, "b"), [0, 0, 0])
+    assert router.assignments == {"a": 0, "b": 1}
+
+
+def test_least_loaded_router_prefers_short_queue():
+    router = LeastLoadedRouter(num_instances=3)
+    assert router.route(make_request(0, "x"), [4, 1, 7]) == 1
+
+
+def test_router_requires_positive_instances():
+    with pytest.raises(ValueError):
+        UserIdRouter(num_instances=0)

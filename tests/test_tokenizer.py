@@ -1,0 +1,47 @@
+"""Tests for the synthetic tokenizer used by the examples."""
+
+from repro.workloads.tokenizer import SyntheticTokenizer
+
+
+def test_encode_is_deterministic():
+    tokenizer = SyntheticTokenizer()
+    text = "The quick brown fox jumps over the lazy dog."
+    assert tokenizer.encode(text) == tokenizer.encode(text)
+
+
+def test_count_matches_encode_length():
+    tokenizer = SyntheticTokenizer()
+    text = "User clicked on twelve articles about distributed systems last week!"
+    assert tokenizer.count_tokens(text) == len(tokenizer.encode(text))
+
+
+def test_token_ids_within_vocab():
+    tokenizer = SyntheticTokenizer(vocab_size=1000)
+    tokens = tokenizer.encode("hello world, this is a tokenizer test")
+    assert all(0 <= token < 1000 for token in tokens)
+
+
+def test_longer_text_produces_more_tokens():
+    tokenizer = SyntheticTokenizer()
+    short = tokenizer.count_tokens("one sentence.")
+    long = tokenizer.count_tokens("one sentence. " * 50)
+    assert long > 20 * short
+
+
+def test_subword_expansion_roughly_matches_factor():
+    tokenizer = SyntheticTokenizer(subwords_per_word=1.3)
+    words = ["engineering"] * 300
+    text = " ".join(words)
+    tokens = tokenizer.count_tokens(text)
+    assert 300 < tokens < 300 * 1.6
+
+
+def test_different_texts_differ():
+    tokenizer = SyntheticTokenizer()
+    assert tokenizer.encode("alpha beta gamma") != tokenizer.encode("alpha beta delta")
+
+
+def test_empty_text():
+    tokenizer = SyntheticTokenizer()
+    assert tokenizer.encode("") == []
+    assert tokenizer.count_tokens("") == 0

@@ -1,0 +1,23 @@
+"""Unit-helper tests."""
+
+from repro import units
+
+
+def test_gib_round_trip():
+    assert units.gib(1) == 1 << 30
+    assert units.to_gib(units.gib(24)) == 24
+
+
+def test_prefixed_byte_constants_are_consistent():
+    assert units.GIB == 1024 * units.MIB == 1024 * 1024 * units.KIB
+    assert units.GB == 1000 * units.MB == 1000 * 1000 * units.KB
+
+
+def test_rate_helpers():
+    assert units.tflops(1) == 1e12
+    assert units.gbps(2) == 2e9
+
+
+def test_time_helpers():
+    assert units.ms(250) == 0.25
+    assert units.to_ms(0.5) == 500

@@ -1,0 +1,166 @@
+"""Tests for the workload generators and trace containers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.credit_verification import CreditVerificationWorkload
+from repro.workloads.post_recommendation import PostRecommendationWorkload
+from repro.workloads.registry import get_workload, list_workloads
+from repro.workloads.trace import TokenSegment, TokenSequence
+
+
+def test_registry_lists_both_paper_workloads():
+    assert list_workloads() == ["credit-verification", "post-recommendation"]
+    with pytest.raises(WorkloadError):
+        get_workload("chatbot")
+
+
+# ----------------------------------------------------------- token sequences
+
+def test_token_sequence_length_is_sum_of_segments():
+    sequence = TokenSequence([TokenSegment(1, 100), TokenSegment(2, 28)])
+    assert len(sequence) == 128
+
+
+def test_token_sequence_rejects_empty_or_invalid_segments():
+    with pytest.raises(WorkloadError):
+        TokenSequence([])
+    with pytest.raises(WorkloadError):
+        TokenSegment(1, 0)
+
+
+def test_block_hashes_shared_prefix():
+    shared = TokenSegment(10, 1000)
+    a = TokenSequence([shared, TokenSegment(20, 300)])
+    b = TokenSequence([shared, TokenSegment(30, 300)])
+    ha = a.block_hashes(256)
+    hb = b.block_hashes(256)
+    # 1000 shared tokens -> the first 3 blocks (768 tokens) agree, block 4 differs.
+    assert ha[:3] == hb[:3]
+    assert ha[3] != hb[3]
+
+
+def test_block_hashes_differ_when_prefix_differs():
+    a = TokenSequence([TokenSegment(1, 512)])
+    b = TokenSequence([TokenSegment(2, 512)])
+    assert a.block_hashes(256)[0] != b.block_hashes(256)[0]
+
+
+def test_block_hashes_count_only_full_blocks():
+    sequence = TokenSequence([TokenSegment(1, 300)])
+    assert len(sequence.block_hashes(256)) == 1
+
+
+def test_block_hashes_cached_per_block_size():
+    sequence = TokenSequence([TokenSegment(1, 512)])
+    assert sequence.block_hashes(256) is sequence.block_hashes(256)
+    assert len(sequence.block_hashes(128)) == 4
+
+
+def test_shared_prefix_tokens():
+    shared = TokenSegment(10, 1000)
+    a = TokenSequence([shared, TokenSegment(20, 300)])
+    b = TokenSequence([shared, TokenSegment(30, 400)])
+    assert a.shared_prefix_tokens(b) == 1000
+    c = TokenSequence([TokenSegment(99, 50)])
+    assert a.shared_prefix_tokens(c) == 0
+
+
+# ------------------------------------------------------ post recommendation
+
+def test_post_recommendation_default_matches_table1():
+    trace = PostRecommendationWorkload().generate()
+    assert trace.num_users == 20
+    assert len(trace) == 20 * 50
+    # Table 1: total tokens around 14 million.
+    assert 13_000_000 < trace.total_tokens < 16_000_000
+
+
+def test_post_recommendation_profile_lengths_in_paper_range():
+    workload = PostRecommendationWorkload(num_users=10, posts_per_user=2, seed=3)
+    trace = workload.generate()
+    for request in trace:
+        profile = request.metadata["profile_tokens"]
+        assert 11_000 <= profile <= 17_000
+
+
+def test_post_recommendation_requests_share_user_prefix():
+    trace = get_workload("post-recommendation", num_users=2, posts_per_user=3, seed=1)
+    by_user: dict[str, list] = {}
+    for request in trace:
+        by_user.setdefault(request.user_id, []).append(request)
+    for requests in by_user.values():
+        first, second = requests[0], requests[1]
+        shared = first.sequence.shared_prefix_tokens(second.sequence)
+        assert shared == first.metadata["shared_prefix_tokens"]
+        assert shared > 10_000
+
+
+def test_post_recommendation_requests_from_different_users_share_only_system_prompt():
+    trace = get_workload("post-recommendation", num_users=2, posts_per_user=1, seed=1)
+    a, b = trace.requests
+    assert a.user_id != b.user_id
+    assert a.sequence.shared_prefix_tokens(b.sequence) == 128  # the system prompt
+
+
+def test_post_recommendation_scaling_parameters():
+    trace = get_workload("post-recommendation", num_users=3, posts_per_user=5)
+    assert trace.num_users == 3
+    assert len(trace) == 15
+
+
+def test_post_recommendation_invalid_parameters():
+    with pytest.raises(WorkloadError):
+        PostRecommendationWorkload(num_users=0)
+    with pytest.raises(WorkloadError):
+        PostRecommendationWorkload(profile_min_tokens=10_000, profile_max_tokens=5_000)
+
+
+# ------------------------------------------------------ credit verification
+
+def test_credit_verification_default_matches_table1():
+    trace = CreditVerificationWorkload().generate()
+    assert trace.num_users == 60
+    assert len(trace) == 60
+    # Table 1: 40k-60k tokens per request, ~3 million total.
+    assert 2_400_000 < trace.total_tokens < 3_800_000
+    for request in trace:
+        assert 40_000 <= request.metadata["history_tokens"] <= 60_000
+
+
+def test_credit_verification_no_prefix_reuse_between_users():
+    trace = get_workload("credit-verification", num_users=3, seed=2)
+    a, b = trace.requests[0], trace.requests[1]
+    assert a.sequence.shared_prefix_tokens(b.sequence) == 256  # system prompt only
+
+
+def test_credit_verification_outputs_are_approve_reject():
+    trace = get_workload("credit-verification", num_users=2)
+    assert trace.requests[0].allowed_outputs == ("Approve", "Reject")
+
+
+def test_credit_verification_invalid_parameters():
+    with pytest.raises(WorkloadError):
+        CreditVerificationWorkload(num_users=0)
+    with pytest.raises(WorkloadError):
+        CreditVerificationWorkload(month_min_tokens=10, month_max_tokens=5)
+
+
+# ----------------------------------------------------------------- summary
+
+def test_trace_summary_fields():
+    trace = get_workload("post-recommendation", num_users=2, posts_per_user=4, seed=0)
+    summary = trace.summary()
+    assert summary["dataset"] == "post-recommendation"
+    assert summary["num_users"] == 2
+    assert summary["num_requests"] == 8
+    assert summary["min_request_tokens"] <= summary["max_request_tokens"]
+    assert summary["total_tokens"] == trace.total_tokens
+
+
+def test_workload_generation_is_deterministic_per_seed():
+    a = get_workload("post-recommendation", num_users=2, posts_per_user=2, seed=5)
+    b = get_workload("post-recommendation", num_users=2, posts_per_user=2, seed=5)
+    assert [r.num_tokens for r in a] == [r.num_tokens for r in b]
+    c = get_workload("post-recommendation", num_users=2, posts_per_user=2, seed=6)
+    assert [r.num_tokens for r in a] != [r.num_tokens for r in c]
