@@ -1,0 +1,31 @@
+# Development entry points for the PrefillOnly reproduction.
+#
+#   make test        - tier-1 test suite (unit + property tests + benchmarks, small scale)
+#   make bench       - only the benchmark harness (regenerates tables/figures)
+#   make bench-paper - benchmark harness at the paper's full workload scale
+#   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
+#   make examples    - run every example script end to end
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-paper docs-check examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks -q -s
+
+docs-check:
+	$(PYTHON) scripts/docs_check.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"

@@ -1,0 +1,88 @@
+"""Fleet scaling — aggregate throughput versus replica count.
+
+Not a figure from the paper, but the fleet-scale extension of its deployment
+rule: PrefillOnly launches one engine instance per GPU and routes by user id,
+so adding replicas should scale aggregate throughput close to linearly while
+each replica's prefix-cache hit rate stays at the single-instance level (every
+user's shared prefix lives on exactly one replica, whatever the fleet size).
+
+This benchmark records the throughput trajectory at N = 1, 2, 4 replicas so
+future PRs can track fleet-layer performance, and asserts the two properties
+the routing argument predicts.
+"""
+
+from __future__ import annotations
+
+from conftest import post_recommendation_trace, show
+
+from repro.cluster import Fleet
+from repro.core.engine import prefillonly_engine_spec
+from repro.hardware.cluster import get_hardware_setup
+from repro.simulation.arrival import BurstArrivalProcess
+from repro.simulation.simulator import simulate_fleet
+
+REPLICA_COUNTS = (1, 2, 4)
+
+
+def _run_at_scale(num_replicas: int):
+    setup = get_hardware_setup("h100")
+    trace = post_recommendation_trace(seed=5)
+    fleet = Fleet.for_setup(
+        prefillonly_engine_spec(), setup,
+        max_input_length=trace.max_request_tokens,
+        num_replicas=num_replicas,
+        name=f"prefillonly-x{num_replicas}",
+    )
+    requests = BurstArrivalProcess(seed=0).assign(list(trace.requests))
+    return simulate_fleet(fleet, requests)
+
+
+def _compute():
+    return {count: _run_at_scale(count) for count in REPLICA_COUNTS}
+
+
+def test_fleet_scaling_throughput_vs_replicas(benchmark):
+    results = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    rows = []
+    for count, result in results.items():
+        hit_rates = [
+            rate for name, rate in result.fleet.token_hit_rate_per_replica.items()
+            if result.fleet.utilization_per_replica.get(name, 0) > 0
+        ]
+        rows.append({
+            "replicas": count,
+            "throughput_rps": round(result.summary.throughput_rps, 3),
+            "speedup_vs_1": round(
+                result.summary.throughput_rps / results[1].summary.throughput_rps, 2
+            ),
+            "mean_latency_s": round(result.summary.mean_latency, 3),
+            "min_replica_token_hit": round(min(hit_rates), 3),
+            "max_replica_token_hit": round(max(hit_rates), 3),
+            "cache_hit_variance": round(result.fleet.cache_hit_variance, 5),
+        })
+    show("Fleet scaling — throughput vs replica count (user-id routing)", rows)
+    benchmark.extra_info["fleet_scaling"] = rows
+
+    single = results[1]
+    quad = results[4]
+
+    # Every run completes the whole trace (no sheds, no rejections).
+    for result in results.values():
+        assert result.num_rejected == 0
+        assert result.num_finished == single.num_finished
+
+    # More replicas → higher aggregate throughput, monotonically.
+    throughputs = [results[count].summary.throughput_rps for count in REPLICA_COUNTS]
+    assert throughputs == sorted(throughputs)
+    assert quad.summary.throughput_rps > 1.5 * single.summary.throughput_rps
+
+    # User-id routing keeps every replica's prefix cache as effective as the
+    # single-instance cache: per-replica token hit rates within 5%.
+    single_hit = single.summary.token_hit_rate
+    for name, rate in quad.fleet.token_hit_rate_per_replica.items():
+        if quad.fleet.utilization_per_replica.get(name, 0) > 0:
+            assert abs(rate - single_hit) <= 0.05 * max(single_hit, 1e-9), (
+                f"replica {name} hit rate {rate:.3f} deviates more than 5% "
+                f"from the single-instance {single_hit:.3f}"
+            )

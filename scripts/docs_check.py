@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Documentation consistency check (the Makefile's ``docs-check`` target).
+
+Fails (exit code 1) when the documentation drifts from the code:
+
+* every ``repro.*`` dotted name mentioned in README.md or docs/*.md must
+  resolve to an importable module, or to an attribute of one;
+* every ``python -m repro.cli <subcommand> --flag ...`` line inside a fenced
+  code block must name a real subcommand and real flags of that subcommand;
+* every relative file link / path reference checked must exist.
+
+Run with::
+
+    PYTHONPATH=src python scripts/docs_check.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+DOTTED_NAME = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+FENCED_BLOCK = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+CLI_LINE = re.compile(r"python -m repro\.cli\s+(.*)")
+MD_LINK = re.compile(r"\]\(([^)#][^)]*)\)")
+
+
+def check_dotted_names(text: str, errors: list[str], *, source: str) -> None:
+    """Verify every ``repro.*`` dotted name is a module or module attribute."""
+    for name in sorted(set(DOTTED_NAME.findall(text))):
+        stripped = name.rstrip(".")
+        try:
+            importlib.import_module(stripped)
+            continue
+        except ImportError:
+            pass
+        module_name, _, attribute = stripped.rpartition(".")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            errors.append(f"{source}: {stripped!r} is not an importable module")
+            continue
+        if not hasattr(module, attribute):
+            errors.append(
+                f"{source}: {module_name!r} has no attribute {attribute!r} "
+                f"(referenced as {stripped!r})"
+            )
+
+
+def check_cli_lines(text: str, errors: list[str], *, source: str) -> None:
+    """Verify CLI invocations in fenced code blocks against the real parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    for block in FENCED_BLOCK.findall(text):
+        for match in CLI_LINE.finditer(block):
+            tokens = match.group(1).split()
+            if not tokens:
+                errors.append(f"{source}: CLI line with no subcommand")
+                continue
+            subcommand = tokens[0]
+            subparser = subparsers.choices.get(subcommand)
+            if subparser is None:
+                errors.append(f"{source}: unknown CLI subcommand {subcommand!r}")
+                continue
+            known_flags = {
+                option
+                for action in subparser._actions
+                for option in action.option_strings
+            }
+            for token in tokens[1:]:
+                if token.startswith("--"):
+                    flag = token.split("=", 1)[0]
+                    if flag not in known_flags:
+                        errors.append(
+                            f"{source}: subcommand {subcommand!r} has no flag {flag!r}"
+                        )
+
+
+def check_links(text: str, errors: list[str], *, source: str, base: Path) -> None:
+    """Verify relative markdown links point at files that exist."""
+    for target in MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not (base / target).exists():
+            errors.append(f"{source}: broken relative link {target!r}")
+
+
+def main() -> int:
+    errors: list[str] = []
+    checked = 0
+    for path in DOC_FILES:
+        if not path.exists():
+            errors.append(f"missing documentation file: {path.relative_to(REPO_ROOT)}")
+            continue
+        text = path.read_text(encoding="utf-8")
+        source = str(path.relative_to(REPO_ROOT))
+        check_dotted_names(text, errors, source=source)
+        check_cli_lines(text, errors, source=source)
+        check_links(text, errors, source=source, base=path.parent)
+        checked += 1
+    if errors:
+        print(f"docs-check: {len(errors)} problem(s) found:", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

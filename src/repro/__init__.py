@@ -16,7 +16,11 @@ organises the system:
 * ``repro.baselines`` — the PagedAttention, chunked prefill, tensor parallel,
   and pipeline parallel baselines;
 * ``repro.workloads`` — the post recommendation and credit verification traces;
-* ``repro.simulation`` — the discrete-event serving simulator;
+* ``repro.simulation`` — the discrete-event serving simulator, arrival
+  processes, and routing policies;
+* ``repro.cluster`` — the fleet layer: multi-replica serving with admission
+  control and reactive autoscaling;
+* ``repro.frontend`` — the in-process OpenAI-compatible request path;
 * ``repro.analysis`` — MIL analysis, QPS sweeps, and report formatting.
 
 Quick start::
@@ -62,9 +66,19 @@ from repro.kvcache import CommitPolicy, KVCacheManager
 from repro.execution import MicroTransformer, MicroTransformerConfig
 from repro.simulation import (
     BurstArrivalProcess,
+    LeastLoadedRouter,
     PoissonArrivalProcess,
+    PrefixAffinityRouter,
     ServingSystem,
+    UserIdRouter,
     simulate,
+    simulate_fleet,
+)
+from repro.cluster import (
+    Fleet,
+    QueueDepthAdmission,
+    ReactiveAutoscaler,
+    ReplicaSpec,
 )
 from repro.workloads import (
     CreditVerificationWorkload,
@@ -121,8 +135,17 @@ __all__ = [
     # serving
     "BurstArrivalProcess",
     "PoissonArrivalProcess",
+    "UserIdRouter",
+    "LeastLoadedRouter",
+    "PrefixAffinityRouter",
     "ServingSystem",
     "simulate",
+    "simulate_fleet",
+    # cluster fleet
+    "Fleet",
+    "ReplicaSpec",
+    "QueueDepthAdmission",
+    "ReactiveAutoscaler",
     # workloads
     "CreditVerificationWorkload",
     "PostRecommendationWorkload",

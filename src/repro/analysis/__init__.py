@@ -16,7 +16,12 @@ from repro.analysis.sweep import (
     compare_engines,
     paper_qps_points,
 )
-from repro.analysis.reporting import format_table, format_series, to_markdown_table
+from repro.analysis.reporting import (
+    format_fleet_report,
+    format_series,
+    format_table,
+    to_markdown_table,
+)
 
 __all__ = [
     "max_input_length",
@@ -32,5 +37,6 @@ __all__ = [
     "paper_qps_points",
     "format_table",
     "format_series",
+    "format_fleet_report",
     "to_markdown_table",
 ]

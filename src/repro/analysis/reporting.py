@@ -22,7 +22,13 @@ def _stringify(value) -> str:
 
 def format_table(rows: Sequence[dict], *, columns: Sequence[str] | None = None,
                  title: str | None = None) -> str:
-    """Render dict rows as an aligned plain-text table."""
+    """Render dict rows as an aligned plain-text table.
+
+    Args:
+        rows: One dict per table row; missing keys render as empty cells.
+        columns: Column order (defaults to the first row's key order).
+        title: Optional heading line printed above the table.
+    """
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
@@ -44,7 +50,12 @@ def format_table(rows: Sequence[dict], *, columns: Sequence[str] | None = None,
 
 
 def to_markdown_table(rows: Sequence[dict], *, columns: Sequence[str] | None = None) -> str:
-    """Render dict rows as a GitHub-flavoured markdown table."""
+    """Render dict rows as a GitHub-flavoured markdown table.
+
+    Args:
+        rows: One dict per table row; missing keys render as empty cells.
+        columns: Column order (defaults to the first row's key order).
+    """
     if not rows:
         return "(no rows)"
     if columns is None:
@@ -58,6 +69,45 @@ def to_markdown_table(rows: Sequence[dict], *, columns: Sequence[str] | None = N
 
 def format_series(points: Iterable[tuple[float, float]], *, x_label: str = "x",
                   y_label: str = "y", title: str | None = None) -> str:
-    """Render an (x, y) series as two aligned columns (one figure line)."""
+    """Render an (x, y) series as two aligned columns (one figure line).
+
+    Args:
+        points: Iterable of (x, y) pairs, already in plot order.
+        x_label / y_label: Column headings.
+        title: Optional heading line printed above the series.
+    """
     rows = [{x_label: x, y_label: y} for x, y in points]
     return format_table(rows, columns=[x_label, y_label], title=title)
+
+
+def format_fleet_report(result) -> str:
+    """Render a fleet simulation result as a multi-table plain-text report.
+
+    Args:
+        result: A :class:`~repro.simulation.simulator.FleetSimulationResult`
+            (duck-typed: anything exposing ``fleet_name``, ``summary``,
+            ``fleet``, and ``cache_stats`` works, which keeps this module free
+            of simulation imports).
+
+    Returns:
+        Latency summary, fleet summary, per-replica cache table, and — when
+        any occurred — the scale-event log, separated by blank lines.
+    """
+    sections = [
+        format_table([result.summary.as_dict()],
+                     title=f"Fleet {result.fleet_name!r}: latency / throughput"),
+        format_table([result.fleet.as_dict()], title="Fleet summary"),
+    ]
+    replica_rows = [
+        {
+            "replica": name,
+            "utilization": round(utilization, 3),
+            "token_hit_rate": round(result.fleet.token_hit_rate_per_replica.get(name, 0.0), 3),
+        }
+        for name, utilization in result.fleet.utilization_per_replica.items()
+    ]
+    if replica_rows:
+        sections.append(format_table(replica_rows, title="Per-replica utilisation"))
+    if result.fleet.scale_events:
+        sections.append(format_table(list(result.fleet.scale_events), title="Scale events"))
+    return "\n\n".join(sections)

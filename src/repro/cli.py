@@ -6,7 +6,9 @@ Subcommands map to the main things a user wants to do without writing code:
 * ``prefillonly mil``       — print the Table 2 maximum-input-length matrix;
 * ``prefillonly sweep``     — run a QPS sweep of one engine on one setup;
 * ``prefillonly compare``   — compare every engine at one offered QPS;
-* ``prefillonly workload``  — print a workload's Table 1 summary.
+* ``prefillonly workload``  — print a workload's Table 1 summary;
+* ``prefillonly fleet``     — simulate a multi-replica fleet (routing,
+  admission control, autoscaling) and print the fleet report.
 """
 
 from __future__ import annotations
@@ -15,12 +17,16 @@ import argparse
 import sys
 
 from repro.analysis.mil import mil_table
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_fleet_report, format_table
 from repro.analysis.sweep import compare_engines, paper_qps_points, base_throughput, qps_sweep
 from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
+from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
 from repro.model.config import MODEL_REGISTRY, get_model
 from repro.hardware.gpu import GPU_REGISTRY
+from repro.simulation.arrival import BurstArrivalProcess, PoissonArrivalProcess
+from repro.simulation.routing import ROUTER_FACTORIES, make_router
+from repro.simulation.simulator import simulate_fleet
 from repro.workloads.registry import get_workload, list_workloads
 
 
@@ -90,6 +96,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    spec = get_engine_spec(args.engine)
+    setup = get_hardware_setup(args.setup)
+    trace = get_workload(args.workload, num_users=args.num_users)
+
+    admission = None
+    if args.max_queue_depth is not None:
+        admission = QueueDepthAdmission(args.max_queue_depth)
+    autoscaler = None
+    if args.autoscale_max is not None:
+        autoscaler = ReactiveAutoscaler(
+            min_replicas=args.autoscale_min,
+            max_replicas=args.autoscale_max,
+            scale_up_rps_per_replica=args.scale_up_rps,
+            window_seconds=args.autoscale_window,
+            cooldown_seconds=args.autoscale_cooldown,
+        )
+    fleet = Fleet.for_setup(
+        spec, setup,
+        max_input_length=trace.max_request_tokens,
+        num_replicas=args.replicas,
+        router=make_router(args.router, args.replicas or 1),
+        admission=admission,
+        autoscaler=autoscaler,
+        name=f"{args.engine}x{args.replicas or 'auto'}",
+    )
+    if args.qps is None:
+        arrivals = BurstArrivalProcess(seed=args.seed)
+    else:
+        arrivals = PoissonArrivalProcess(rate=args.qps, seed=args.seed)
+    requests = arrivals.assign(list(trace.requests))
+    result = simulate_fleet(fleet, requests)
+    print(format_fleet_report(result))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="prefillonly",
@@ -124,6 +166,32 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--num-users", type=int, default=8)
     compare_parser.add_argument("--qps", nargs="*", type=float)
     compare_parser.set_defaults(func=_cmd_compare)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="simulate a multi-replica fleet with routing / admission / autoscaling"
+    )
+    fleet_parser.add_argument("--engine", default="prefillonly", choices=ENGINE_ORDER)
+    fleet_parser.add_argument("--setup", default="h100", choices=list_hardware_setups())
+    fleet_parser.add_argument("--workload", default="post-recommendation",
+                              choices=list_workloads())
+    fleet_parser.add_argument("--num-users", type=int, default=8)
+    fleet_parser.add_argument("--replicas", type=int, default=None,
+                              help="replica count (default: one per GPU of the setup)")
+    fleet_parser.add_argument("--router", default="user-id",
+                              choices=sorted(ROUTER_FACTORIES))
+    fleet_parser.add_argument("--qps", type=float, default=None,
+                              help="Poisson arrival rate (default: burst arrivals)")
+    fleet_parser.add_argument("--max-queue-depth", type=int, default=None,
+                              help="enable admission control at this per-replica depth")
+    fleet_parser.add_argument("--autoscale-min", type=int, default=1)
+    fleet_parser.add_argument("--autoscale-max", type=int, default=None,
+                              help="enable autoscaling up to this replica count")
+    fleet_parser.add_argument("--scale-up-rps", type=float, default=2.0,
+                              help="per-replica arrival rate that triggers scale-up")
+    fleet_parser.add_argument("--autoscale-window", type=float, default=30.0)
+    fleet_parser.add_argument("--autoscale-cooldown", type=float, default=60.0)
+    fleet_parser.add_argument("--seed", type=int, default=0)
+    fleet_parser.set_defaults(func=_cmd_fleet)
 
     return parser
 

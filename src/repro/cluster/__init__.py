@@ -1,0 +1,42 @@
+"""Cluster fleet layer: multi-replica serving behind one entry point.
+
+The paper deploys PrefillOnly as one engine instance per GPU with user-id
+routing on top; this package grows that deployment rule into a fleet
+abstraction suitable for production-scale simulation:
+
+* :mod:`repro.cluster.fleet` — :class:`Fleet`, N (optionally heterogeneous)
+  engine replicas with lazily advanced per-replica clocks;
+* :mod:`repro.cluster.admission` — queue-depth admission control with load
+  shedding;
+* :mod:`repro.cluster.autoscaler` — reactive autoscaling from observed
+  arrival rate and P99 latency, with hysteresis and cooldown.
+
+Routing policies live in :mod:`repro.simulation.routing` (the fleet accepts
+any :class:`~repro.simulation.routing.Router`, including the prefix-affinity
+router added for this layer), and the driving event loop is
+:func:`repro.simulation.simulator.simulate_fleet`.
+"""
+
+from repro.cluster.admission import (
+    ADMIT,
+    AdmissionDecision,
+    AdmissionPolicy,
+    AlwaysAdmit,
+    QueueDepthAdmission,
+)
+from repro.cluster.autoscaler import Autoscaler, ReactiveAutoscaler, ScaleEvent
+from repro.cluster.fleet import Fleet, FleetStats, ReplicaSpec
+
+__all__ = [
+    "ADMIT",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "QueueDepthAdmission",
+    "Autoscaler",
+    "ReactiveAutoscaler",
+    "ScaleEvent",
+    "Fleet",
+    "FleetStats",
+    "ReplicaSpec",
+]

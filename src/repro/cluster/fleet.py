@@ -1,0 +1,382 @@
+"""A fleet of engine replicas behind one entry point.
+
+:class:`Fleet` generalises :class:`~repro.simulation.server.ServingSystem`
+from "one homogeneous engine layout derived from a cluster spec" to a
+production-shaped serving tier:
+
+* N replicas, each a full :class:`~repro.core.engine.EngineInstance`, built
+  from per-replica :class:`ReplicaSpec` records so GPU types and engine
+  flavours may differ across the fleet;
+* a pluggable :class:`~repro.simulation.routing.Router` (user-id by default,
+  matching the paper's deployment rule) that is kept in sync with the replica
+  set as it changes;
+* optional queue-depth :class:`~repro.cluster.admission.AdmissionPolicy` load
+  shedding in front of the router;
+* an optional :class:`~repro.cluster.autoscaler.Autoscaler` that adds replicas
+  cloned from a template spec and drains the highest-indexed replica on
+  scale-down (drained replicas stop receiving traffic, finish their queue,
+  and retire with their completion records preserved).
+
+Replica clocks are advanced lazily: an event at simulated time *t* only
+advances replicas whose next internal event is due at or before *t*, so a
+mostly idle fleet costs almost nothing per event regardless of its size.  The
+driving loop lives in :func:`repro.simulation.simulator.simulate_fleet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineInstance, EngineSpec, FinishedRequest
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import HardwareSetup
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.interconnect import Interconnect
+from repro.model.config import ModelConfig, get_model
+from repro.simulation.routing import Router, UserIdRouter
+from repro.cluster.admission import AdmissionPolicy
+from repro.cluster.autoscaler import Autoscaler, ScaleEvent
+from repro.workloads.trace import Request
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything needed to stand up one replica of the fleet.
+
+    Attributes:
+        engine: Engine flavour the replica runs.
+        gpu: GPU type of each shard of the replica.
+        interconnect: Shard-to-shard link (required when the engine spec uses
+            more than one GPU per instance).
+    """
+
+    engine: EngineSpec
+    gpu: GPUSpec
+    interconnect: Interconnect | None = None
+
+
+@dataclass
+class _ReplicaState:
+    """Bookkeeping the fleet keeps per replica (live, draining, or retired)."""
+
+    instance: EngineInstance
+    created_at: float
+    retired_at: float | None = None
+    draining: bool = False
+
+
+@dataclass
+class FleetStats:
+    """Counters the fleet accumulates while serving."""
+
+    num_submitted: int = 0
+    num_routed: int = 0
+    num_shed: int = 0
+    num_scale_ups: int = 0
+    num_scale_downs: int = 0
+    peak_replicas: int = 0
+
+
+class Fleet:
+    """N engine replicas behind a router, admission control, and an autoscaler.
+
+    Args:
+        replica_specs: One :class:`ReplicaSpec` per initial replica (at least
+            one).  The first entry doubles as the template the autoscaler
+            clones when growing the fleet.
+        model: Model served by every replica.
+        max_input_length: MIL each replica is provisioned for.
+        router: Routing policy; defaults to the paper's user-id router.
+        admission: Optional load-shedding policy consulted before routing.
+        autoscaler: Optional reactive autoscaler.
+        name: Fleet name used in reports.
+    """
+
+    def __init__(self, replica_specs: list[ReplicaSpec], model: ModelConfig, *,
+                 max_input_length: int,
+                 router: Router | None = None,
+                 admission: AdmissionPolicy | None = None,
+                 autoscaler: Autoscaler | None = None,
+                 name: str = "fleet") -> None:
+        if not replica_specs:
+            raise ConfigurationError("a fleet needs at least one replica spec")
+        self.name = name
+        self.model = model
+        self.max_input_length = max_input_length
+        self.template = replica_specs[0]
+        self.admission = admission
+        self.autoscaler = autoscaler
+        self.stats = FleetStats()
+        self.scale_events: list[ScaleEvent] = []
+        self._shed: list[FinishedRequest] = []
+        self._replica_seq = 0
+        self._active: list[_ReplicaState] = [
+            self._build_replica(spec, now=0.0) for spec in replica_specs
+        ]
+        self._draining: list[_ReplicaState] = []
+        self._retired: list[_ReplicaState] = []
+        self.router: Router = (
+            router if router is not None else UserIdRouter(len(self._active))
+        )
+        self.router.resize(len(self._active))
+        self._sync_router()
+        self.stats.peak_replicas = len(self._active)
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def homogeneous(cls, engine: EngineSpec, model: ModelConfig, gpu: GPUSpec, *,
+                    num_replicas: int, max_input_length: int,
+                    interconnect: Interconnect | None = None,
+                    **kwargs) -> "Fleet":
+        """Build a fleet of ``num_replicas`` identical replicas."""
+        if num_replicas < 1:
+            raise ConfigurationError("num_replicas must be at least 1")
+        spec = ReplicaSpec(engine=engine, gpu=gpu, interconnect=interconnect)
+        return cls([spec] * num_replicas, model,
+                   max_input_length=max_input_length, **kwargs)
+
+    @classmethod
+    def for_setup(cls, engine: EngineSpec, setup: HardwareSetup, *,
+                  max_input_length: int, num_replicas: int | None = None,
+                  **kwargs) -> "Fleet":
+        """Build a fleet on one of the paper's hardware setups.
+
+        ``num_replicas`` defaults to the paper's deployment rule: one replica
+        per ``engine.gpus_per_instance`` GPUs of the setup's cluster.
+        """
+        if num_replicas is None:
+            num_replicas = max(setup.cluster.num_gpus // engine.gpus_per_instance, 1)
+        return cls.homogeneous(
+            engine, get_model(setup.model_name), setup.cluster.gpu,
+            num_replicas=num_replicas,
+            max_input_length=max_input_length,
+            interconnect=setup.cluster.interconnect,
+            **kwargs,
+        )
+
+    def _build_replica(self, spec: ReplicaSpec, *, now: float) -> _ReplicaState:
+        index = self._replica_seq
+        self._replica_seq += 1
+        instance = EngineInstance(
+            spec.engine, self.model, spec.gpu,
+            interconnect=spec.interconnect,
+            max_input_length=self.max_input_length,
+            name=f"{spec.engine.name}-{index}",
+        )
+        return _ReplicaState(instance=instance, created_at=now)
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of replicas currently receiving traffic."""
+        return len(self._active)
+
+    @property
+    def replicas(self) -> list[EngineInstance]:
+        """The routable engine instances, in router index order."""
+        return [state.instance for state in self._active]
+
+    @property
+    def num_shed(self) -> int:
+        """Requests rejected by admission control so far."""
+        return len(self._shed)
+
+    def queue_depths(self) -> list[int]:
+        """Waiting-queue depth of every routable replica."""
+        return [state.instance.num_waiting for state in self._active]
+
+    def is_idle(self) -> bool:
+        """True when no replica (routable or draining) has work left."""
+        return all(
+            state.instance.is_idle() for state in self._active + self._draining
+        )
+
+    def _all_serving(self) -> list[_ReplicaState]:
+        return self._active + self._draining
+
+    def _sync_router(self) -> None:
+        self.router.observe_instances(self.replicas)
+
+    # --------------------------------------------------------------- serving
+
+    def submit(self, request: Request, now: float) -> EngineInstance | None:
+        """Admit, route, and submit one request.
+
+        Returns the replica the request landed on, or ``None`` when admission
+        control shed it (a rejection record is kept either way).
+        """
+        self.stats.num_submitted += 1
+        if self.autoscaler is not None:
+            self.autoscaler.observe_arrival(now)
+        depths = self.queue_depths()
+        if self.admission is not None:
+            decision = self.admission.admit(request, depths, now)
+            if not decision.admitted:
+                self.stats.num_shed += 1
+                self._shed.append(FinishedRequest(
+                    request_id=request.request_id,
+                    user_id=request.user_id,
+                    num_tokens=request.num_tokens,
+                    cached_tokens=0,
+                    arrival_time=now,
+                    start_time=now,
+                    finish_time=now,
+                    instance_name=self.name,
+                    engine_name=self.name,
+                    rejected=True,
+                    rejection_reason=decision.reason,
+                ))
+                return None
+        index = self.router.route(request, depths)
+        state = self._active[index]
+        state.instance.submit(request, now)
+        self.stats.num_routed += 1
+        self._observe(state.instance.advance_to(now))
+        return state.instance
+
+    def next_event_time(self) -> float | None:
+        """Earliest internal event across routable and draining replicas."""
+        times = [
+            t for t in (
+                state.instance.next_event_time() for state in self._all_serving()
+            )
+            if t is not None
+        ]
+        return min(times) if times else None
+
+    def advance_to(self, now: float) -> list[FinishedRequest]:
+        """Advance replicas whose next event is due at or before ``now``.
+
+        Lazily skips replicas with no due event (their state cannot change
+        before their own next event fires), retires draining replicas that
+        have emptied, and returns the requests that finished on the way.
+        """
+        finished: list[FinishedRequest] = []
+        for state in self._all_serving():
+            next_time = state.instance.next_event_time()
+            if next_time is None or next_time > now:
+                continue
+            finished.extend(state.instance.advance_to(now))
+        self._observe(finished)
+        self._retire_drained(now)
+        return finished
+
+    def _observe(self, finished: list[FinishedRequest]) -> None:
+        if self.autoscaler is not None:
+            for record in finished:
+                self.autoscaler.observe_completion(record)
+
+    # ------------------------------------------------------------ autoscaling
+
+    def maybe_autoscale(self, now: float) -> ScaleEvent | None:
+        """Ask the autoscaler for a vote and apply it; return the event, if any."""
+        if self.autoscaler is None:
+            return None
+        vote = self.autoscaler.decide(now, len(self._active), self.queue_depths())
+        if vote > 0:
+            return self.scale_up(now, reason=self.autoscaler.last_reason)
+        if vote < 0 and len(self._active) > 1:
+            return self.scale_down(now, reason=self.autoscaler.last_reason)
+        return None
+
+    def scale_up(self, now: float, *, reason: str = "manual") -> ScaleEvent:
+        """Add one replica cloned from the template spec."""
+        state = self._build_replica(self.template, now=now)
+        self._active.append(state)
+        self.router.resize(len(self._active))
+        self._sync_router()
+        self.stats.num_scale_ups += 1
+        self.stats.peak_replicas = max(self.stats.peak_replicas, len(self._active))
+        event = ScaleEvent(time=now, direction="up",
+                           num_replicas=len(self._active), reason=reason)
+        self.scale_events.append(event)
+        return event
+
+    def scale_down(self, now: float, *, reason: str = "manual") -> ScaleEvent:
+        """Drain the highest-indexed replica (it keeps running until empty)."""
+        if len(self._active) <= 1:
+            raise ConfigurationError("cannot scale below one replica")
+        state = self._active.pop()
+        state.draining = True
+        self._draining.append(state)
+        self.router.resize(len(self._active))
+        self._sync_router()
+        self.stats.num_scale_downs += 1
+        event = ScaleEvent(time=now, direction="down",
+                           num_replicas=len(self._active), reason=reason)
+        self.scale_events.append(event)
+        self._retire_drained(now)
+        return event
+
+    def _retire_drained(self, now: float) -> None:
+        still_draining: list[_ReplicaState] = []
+        for state in self._draining:
+            if state.instance.is_idle():
+                state.retired_at = now
+                self._retired.append(state)
+            else:
+                still_draining.append(state)
+        self._draining = still_draining
+
+    # -------------------------------------------------------------- results
+
+    def finished_requests(self) -> list[FinishedRequest]:
+        """Completion records across every replica the fleet ever ran."""
+        records: list[FinishedRequest] = []
+        for state in self._all_serving() + self._retired:
+            records.extend(state.instance.finished_requests)
+        return records
+
+    def rejected_requests(self) -> list[FinishedRequest]:
+        """Engine-level rejections plus admission-control sheds."""
+        records: list[FinishedRequest] = []
+        for state in self._all_serving() + self._retired:
+            records.extend(state.instance.rejected_requests)
+        records.extend(self._shed)
+        return records
+
+    def shed_requests(self) -> list[FinishedRequest]:
+        """Only the requests shed by admission control."""
+        return list(self._shed)
+
+    def cache_stats(self) -> list[dict]:
+        """Per-replica prefix-cache statistics (including retired replicas)."""
+        stats = []
+        for state in self._all_serving() + self._retired:
+            cache = state.instance.kv.stats()
+            stats.append({
+                "instance": state.instance.name,
+                "requests": cache.requests,
+                "request_hit_rate": round(cache.request_hit_rate, 3),
+                "token_hit_rate": round(cache.token_hit_rate, 3),
+            })
+        return stats
+
+    def replica_reports(self, end_time: float) -> list[dict]:
+        """Per-replica utilisation / hit-rate rows for fleet summaries.
+
+        Args:
+            end_time: Simulated time the run ended (upper bound of every
+                replica's active window).
+        """
+        reports: list[dict] = []
+        for state in self._all_serving() + self._retired:
+            until = state.retired_at if state.retired_at is not None else end_time
+            active_seconds = max(until - state.created_at, 0.0)
+            cache = state.instance.kv.stats()
+            reports.append({
+                "replica": state.instance.name,
+                "finished": len(state.instance.finished_requests),
+                "busy_s": round(state.instance.busy_time, 3),
+                "active_s": round(active_seconds, 3),
+                "utilization": (
+                    min(state.instance.busy_time / active_seconds, 1.0)
+                    if active_seconds > 0 else 0.0
+                ),
+                "request_hit_rate": cache.request_hit_rate,
+                "token_hit_rate": cache.token_hit_rate,
+                "retired": state.retired_at is not None,
+            })
+        return reports

@@ -25,7 +25,12 @@ from repro.frontend.api import (
     parse_completion_request,
 )
 from repro.frontend.rpc import InProcessChannel, ScoreReply, SubmitRequest
-from repro.frontend.server import MicroModelBackend, PrefillOnlyFrontend, ScoringBackend
+from repro.frontend.server import (
+    FleetBackend,
+    MicroModelBackend,
+    PrefillOnlyFrontend,
+    ScoringBackend,
+)
 
 __all__ = [
     "CompletionChoice",
@@ -37,6 +42,7 @@ __all__ = [
     "InProcessChannel",
     "ScoreReply",
     "SubmitRequest",
+    "FleetBackend",
     "MicroModelBackend",
     "PrefillOnlyFrontend",
     "ScoringBackend",

@@ -6,28 +6,56 @@ schedules and executes requests, and the evaluation reports latency percentiles
 and throughput as functions of the offered queries per second.  This package
 provides exactly those pieces:
 
-* :mod:`repro.simulation.arrival`  — Poisson and burst arrival processes;
-* :mod:`repro.simulation.routing`  — user-id-based round-robin routing;
+* :mod:`repro.simulation.arrival`  — Poisson, burst, and uniform arrival
+  processes;
+* :mod:`repro.simulation.routing`  — user-id, least-loaded, and
+  prefix-affinity routing policies;
 * :mod:`repro.simulation.server`   — a serving system (router + instances);
-* :mod:`repro.simulation.simulator` — the event loop;
-* :mod:`repro.simulation.metrics`  — latency / throughput / hit-rate summaries.
+* :mod:`repro.simulation.simulator` — the event loops (:func:`simulate` for a
+  single serving system, :func:`simulate_fleet` for a
+  :class:`~repro.cluster.fleet.Fleet` of replicas);
+* :mod:`repro.simulation.metrics`  — latency / throughput / hit-rate summaries
+  plus the fleet-level :class:`FleetSummary`.
 """
 
 from repro.simulation.arrival import PoissonArrivalProcess, BurstArrivalProcess, UniformArrivalProcess
-from repro.simulation.routing import UserIdRouter, LeastLoadedRouter
-from repro.simulation.metrics import LatencySummary, summarize_finished
+from repro.simulation.routing import (
+    LeastLoadedRouter,
+    PrefixAffinityRouter,
+    Router,
+    UserIdRouter,
+    make_router,
+)
+from repro.simulation.metrics import (
+    FleetSummary,
+    LatencySummary,
+    summarize_finished,
+    summarize_fleet,
+)
 from repro.simulation.server import ServingSystem
-from repro.simulation.simulator import SimulationResult, simulate
+from repro.simulation.simulator import (
+    FleetSimulationResult,
+    SimulationResult,
+    simulate,
+    simulate_fleet,
+)
 
 __all__ = [
     "PoissonArrivalProcess",
     "BurstArrivalProcess",
     "UniformArrivalProcess",
+    "Router",
     "UserIdRouter",
     "LeastLoadedRouter",
+    "PrefixAffinityRouter",
+    "make_router",
     "LatencySummary",
+    "FleetSummary",
     "summarize_finished",
+    "summarize_fleet",
     "ServingSystem",
     "SimulationResult",
+    "FleetSimulationResult",
     "simulate",
+    "simulate_fleet",
 ]

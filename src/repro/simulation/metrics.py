@@ -3,6 +3,9 @@
 The paper reports mean latency, P99 latency, request throughput, and prefix
 cache hit behaviour.  :func:`summarize_finished` turns a list of
 :class:`~repro.core.engine.FinishedRequest` records into exactly those numbers.
+For fleet runs, :func:`summarize_fleet` adds the cluster-level view on top:
+per-replica utilisation, cross-replica cache-hit variance, load shedding, and
+scale events.
 """
 
 from __future__ import annotations
@@ -105,6 +108,92 @@ def summarize_finished(finished: list[FinishedRequest],
         makespan=makespan,
         cache_hit_rate=sum(1 for r in finished if r.had_cache_hit) / len(finished),
         token_hit_rate=hit_tokens / total_tokens if total_tokens else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Cluster-level statistics of one fleet simulation run.
+
+    Attributes:
+        num_replicas: Replicas receiving traffic when the run ended.
+        peak_replicas: Largest routable replica count seen during the run.
+        num_scale_ups / num_scale_downs: Applied autoscaler decisions.
+        num_shed: Requests rejected by admission control.
+        mean_utilization: Mean of per-replica busy-time utilisation.
+        utilization_per_replica: Replica name -> utilisation in [0, 1].
+        token_hit_rate_per_replica: Replica name -> prefix-cache token hit rate.
+        cache_hit_variance: Population variance of the per-replica token hit
+            rates (over replicas that served at least one request) — the
+            paper's routing argument predicts this stays low under user-id
+            routing because each user's prefix lives on exactly one replica.
+        scale_events: ``ScaleEvent.as_dict()`` rows, in time order.
+    """
+
+    num_replicas: int
+    peak_replicas: int
+    num_scale_ups: int
+    num_scale_downs: int
+    num_shed: int
+    mean_utilization: float
+    utilization_per_replica: dict[str, float]
+    token_hit_rate_per_replica: dict[str, float]
+    cache_hit_variance: float
+    scale_events: tuple[dict, ...] = ()
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (scalar fields only) for report tables."""
+        return {
+            "num_replicas": self.num_replicas,
+            "peak_replicas": self.peak_replicas,
+            "num_scale_ups": self.num_scale_ups,
+            "num_scale_downs": self.num_scale_downs,
+            "num_shed": self.num_shed,
+            "mean_utilization": round(self.mean_utilization, 3),
+            "cache_hit_variance": round(self.cache_hit_variance, 5),
+        }
+
+
+def summarize_fleet(replica_reports: list[dict], *,
+                    scale_events: tuple[dict, ...] = (),
+                    num_scale_ups: int = 0, num_scale_downs: int = 0,
+                    num_shed: int = 0, num_replicas: int = 0,
+                    peak_replicas: int = 0) -> FleetSummary:
+    """Summarise per-replica report rows into a :class:`FleetSummary`.
+
+    Args:
+        replica_reports: Rows as produced by
+            :meth:`repro.cluster.fleet.Fleet.replica_reports` (one per replica
+            the fleet ever ran, including retired ones).
+        scale_events: Scale-event dict rows in time order.
+        num_scale_ups / num_scale_downs / num_shed: Fleet counters.
+        num_replicas / peak_replicas: Final and peak routable replica counts.
+    """
+    utilization = {
+        report["replica"]: float(report["utilization"]) for report in replica_reports
+    }
+    hit_rates = {
+        report["replica"]: float(report["token_hit_rate"]) for report in replica_reports
+    }
+    serving_hit_rates = [
+        float(report["token_hit_rate"])
+        for report in replica_reports if report.get("finished", 0) > 0
+    ]
+    return FleetSummary(
+        num_replicas=num_replicas,
+        peak_replicas=peak_replicas,
+        num_scale_ups=num_scale_ups,
+        num_scale_downs=num_scale_downs,
+        num_shed=num_shed,
+        mean_utilization=(
+            float(np.mean(list(utilization.values()))) if utilization else 0.0
+        ),
+        utilization_per_replica=utilization,
+        token_hit_rate_per_replica=hit_rates,
+        cache_hit_variance=(
+            float(np.var(serving_hit_rates)) if serving_hit_rates else 0.0
+        ),
+        scale_events=tuple(scale_events),
     )
 
 

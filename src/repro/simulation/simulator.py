@@ -5,6 +5,13 @@ assigned by an arrival process) against a :class:`~repro.simulation.server.Servi
 and returns every completion record plus the aggregate summary.  The loop is a
 classic two-source event merge: the next request arrival versus the earliest
 internal engine event (a pipeline stage finishing), whichever comes first.
+
+:func:`simulate_fleet` drives a :class:`~repro.cluster.fleet.Fleet` with the
+same two-source merge, but the fleet advances each replica on its own clock
+(only replicas whose next event is due move at all), and after every event the
+fleet's autoscaler gets a chance to add or drain a replica.  With a single
+replica and the same router, ``simulate_fleet`` reproduces :func:`simulate`
+exactly — the equivalence the fleet tests pin down.
 """
 
 from __future__ import annotations
@@ -14,7 +21,12 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import FinishedRequest
 from repro.errors import SimulationError
-from repro.simulation.metrics import LatencySummary, summarize_finished
+from repro.simulation.metrics import (
+    FleetSummary,
+    LatencySummary,
+    summarize_finished,
+    summarize_fleet,
+)
 from repro.simulation.server import ServingSystem
 from repro.workloads.trace import Request
 
@@ -94,4 +106,107 @@ def simulate(system: ServingSystem, requests: list[Request], *,
         rejected=rejected,
         summary=summarize_finished(finished, rejected),
         cache_stats=system.cache_stats(),
+    )
+
+
+@dataclass
+class FleetSimulationResult:
+    """Everything a benchmark needs from one fleet simulation run.
+
+    ``rejected`` contains engine-level rejections *and* admission-control
+    sheds; ``shed`` is the admission-control subset on its own.
+    """
+
+    fleet_name: str
+    finished: list[FinishedRequest]
+    rejected: list[FinishedRequest]
+    shed: list[FinishedRequest]
+    summary: LatencySummary
+    fleet: FleetSummary
+    cache_stats: list[dict] = field(default_factory=list)
+
+    @property
+    def num_finished(self) -> int:
+        return len(self.finished)
+
+    @property
+    def num_rejected(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def num_shed(self) -> int:
+        return len(self.shed)
+
+
+def simulate_fleet(fleet, requests: list[Request], *,
+                   max_simulated_seconds: float = 1e7,
+                   max_events: int = 10_000_000) -> FleetSimulationResult:
+    """Replay ``requests`` against a :class:`~repro.cluster.fleet.Fleet`.
+
+    The event merge mirrors :func:`simulate`: the earliest of the next arrival
+    and the fleet's earliest internal event wins.  On an arrival the fleet
+    admits, routes, and advances only the replica that received the request;
+    on an internal event only replicas with due events advance (per-replica
+    clocks).  After every event the fleet's autoscaler may scale.
+
+    Args:
+        fleet: The fleet under test.
+        requests: Requests with ``arrival_time`` assigned, in any order.
+        max_simulated_seconds: Safety limit on simulated time.
+        max_events: Safety limit on processed events.
+
+    Raises:
+        SimulationError: if either safety limit is hit.
+    """
+    pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+    arrival_index = 0
+    now = 0.0
+    events = 0
+
+    while True:
+        next_arrival = (
+            pending[arrival_index].arrival_time if arrival_index < len(pending) else math.inf
+        )
+        next_internal = fleet.next_event_time()
+        next_internal = math.inf if next_internal is None else next_internal
+
+        if math.isinf(next_arrival) and math.isinf(next_internal):
+            break
+
+        now = min(next_arrival, next_internal)
+        if now > max_simulated_seconds:
+            raise SimulationError(
+                f"fleet simulation exceeded {max_simulated_seconds} simulated seconds"
+            )
+
+        if next_arrival <= next_internal:
+            request = pending[arrival_index]
+            arrival_index += 1
+            fleet.submit(request, now)
+        else:
+            fleet.advance_to(now)
+        fleet.maybe_autoscale(now)
+
+        events += 1
+        if events > max_events:
+            raise SimulationError(f"fleet simulation exceeded {max_events} events")
+
+    finished = fleet.finished_requests()
+    rejected = fleet.rejected_requests()
+    return FleetSimulationResult(
+        fleet_name=fleet.name,
+        finished=finished,
+        rejected=rejected,
+        shed=fleet.shed_requests(),
+        summary=summarize_finished(finished, rejected),
+        fleet=summarize_fleet(
+            fleet.replica_reports(now),
+            scale_events=tuple(event.as_dict() for event in fleet.scale_events),
+            num_scale_ups=fleet.stats.num_scale_ups,
+            num_scale_downs=fleet.stats.num_scale_downs,
+            num_shed=fleet.num_shed,
+            num_replicas=fleet.num_replicas,
+            peak_replicas=fleet.stats.peak_replicas,
+        ),
+        cache_stats=fleet.cache_stats(),
     )

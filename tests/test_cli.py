@@ -59,3 +59,27 @@ def test_compare_command_small(capsys):
 def test_unknown_engine_rejected():
     with pytest.raises(SystemExit):
         main(["sweep", "--engine", "sglang"])
+
+
+def test_fleet_command_small(capsys):
+    code = main([
+        "fleet", "--setup", "h100", "--workload", "post-recommendation",
+        "--num-users", "4", "--replicas", "2", "--qps", "3.0",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Fleet summary" in output
+    assert "prefillonly-0" in output
+
+
+def test_fleet_command_with_admission_and_autoscaling(capsys):
+    code = main([
+        "fleet", "--setup", "h100", "--workload", "post-recommendation",
+        "--num-users", "4", "--replicas", "1", "--router", "prefix-affinity",
+        "--qps", "8.0", "--max-queue-depth", "4",
+        "--autoscale-max", "3", "--scale-up-rps", "1.0",
+        "--autoscale-window", "2.0", "--autoscale-cooldown", "2.0",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Fleet summary" in output
