@@ -5,11 +5,12 @@
 #   make bench-paper - benchmark harness at the paper's full workload scale
 #   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
 #   make examples    - run every example script end to end
+#   make scenarios   - smoke-run every CLI example in docs/SCENARIOS.md
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-paper docs-check examples
+.PHONY: test bench bench-paper docs-check examples scenarios
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +23,9 @@ bench-paper:
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py
+
+scenarios:
+	$(PYTHON) scripts/run_cookbook.py
 
 examples:
 	@for script in examples/*.py; do \

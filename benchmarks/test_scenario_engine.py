@@ -1,0 +1,147 @@
+"""Scenario engine — events/sec of the old vs new event loop.
+
+Not a figure from the paper: this benchmark tracks the simulator's own speed,
+so future PRs can see event-loop regressions.  Two measurements:
+
+* **Event-loop speedup** — a fleet configured so the per-event engine work is
+  minimal (FCFS, prefix caching off, short requests), which isolates the cost
+  the event loop itself adds per event.  The seed loop paid O(replicas) scans
+  per event (``next_event_time`` over every replica, twice); the heap-based
+  :class:`~repro.simulation.events.EventQueue` pays O(log replicas).  The gap
+  therefore widens with the replica count — at 32 replicas the new loop
+  clears 2x events/sec on this host.
+
+* **Bursty 4-replica scenario** — the cookbook's bursty multi-tenant scenario
+  shape at the paper's request sizes, where per-event engine work (prefix
+  tree, scheduler) dominates; the fast paths (event queue + eviction heap +
+  incremental calibration) still help, but the headline 2x belongs to the
+  loop-bound regime above.
+
+Both comparisons assert that old and new produce byte-identical summaries —
+the speedup is free of behaviour change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from conftest import PAPER_SCALE, show
+
+from repro.cluster import Fleet
+from repro.core.engine import prefillonly_engine_spec
+from repro.hardware.cluster import get_hardware_setup
+from repro.simulation.arrival import MMPPArrivalProcess
+from repro.simulation.simulator import simulate_fleet
+from repro.workloads.registry import get_workload
+
+REPLICA_COUNTS = (8, 32) if not PAPER_SCALE else (8, 16, 32, 64)
+#: Floor asserted at the largest replica count; actual is ~2x+ (see above).
+MIN_LOOP_SPEEDUP = 1.5
+
+
+def _cheap_engine_trace():
+    """Short requests + FCFS + caching off: per-event engine work is minimal."""
+    trace = get_workload(
+        "post-recommendation",
+        num_users=16, posts_per_user=40 if not PAPER_SCALE else 80,
+        profile_mean_tokens=1200, profile_std_tokens=100,
+        profile_min_tokens=1000, profile_max_tokens=1400,
+        seed=0,
+    )
+    spec = replace(prefillonly_engine_spec(scheduling_policy="fcfs"),
+                   enable_prefix_caching=False)
+    requests = MMPPArrivalProcess(base_rate=30.0, burst_rate=150.0, seed=3).assign(
+        list(trace.requests)
+    )
+    return spec, trace, requests
+
+
+def _run_fleet(spec, trace, requests, *, num_replicas, fast):
+    fleet = Fleet.for_setup(
+        spec, get_hardware_setup("h100"),
+        max_input_length=trace.max_request_tokens,
+        num_replicas=num_replicas,
+        use_event_queue=fast,
+        engine_fast_paths=fast,
+    )
+    start = time.perf_counter()
+    result = simulate_fleet(fleet, requests)
+    return result, time.perf_counter() - start
+
+
+def _events_per_second(spec, trace, requests, *, num_replicas, fast, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        result, elapsed = _run_fleet(spec, trace, requests,
+                                     num_replicas=num_replicas, fast=fast)
+        best = min(best, elapsed)
+    return result, result.num_events / best
+
+
+def test_event_loop_speedup_vs_replicas(benchmark):
+    spec, trace, requests = _cheap_engine_trace()
+
+    def _compute():
+        rows = []
+        for num_replicas in REPLICA_COUNTS:
+            old, old_eps = _events_per_second(
+                spec, trace, requests, num_replicas=num_replicas, fast=False)
+            new, new_eps = _events_per_second(
+                spec, trace, requests, num_replicas=num_replicas, fast=True)
+            assert new.summary == old.summary
+            assert new.num_events == old.num_events
+            rows.append({
+                "replicas": num_replicas,
+                "events": new.num_events,
+                "old_events_per_s": round(old_eps),
+                "new_events_per_s": round(new_eps),
+                "speedup": round(new_eps / old_eps, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    show("Event loop — old (linear scans) vs new (event heap), loop-bound fleet", rows)
+    benchmark.extra_info["event_loop_speedup"] = rows
+
+    # The heap's advantage grows with the replica count ...
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups)
+    # ... and clears the floor at the largest fleet (actual ~2x on this host).
+    assert speedups[-1] >= MIN_LOOP_SPEEDUP
+
+
+def test_bursty_scenario_four_replicas(benchmark):
+    """The cookbook bursty shape at paper-size requests, old vs new end to end."""
+    trace = get_workload(
+        "post-recommendation",
+        num_users=20 if not PAPER_SCALE else 20,
+        posts_per_user=25 if not PAPER_SCALE else 50,
+        seed=0,
+    )
+    spec = prefillonly_engine_spec()
+    requests = MMPPArrivalProcess(base_rate=10.0, burst_rate=120.0, seed=3).assign(
+        list(trace.requests)
+    )
+
+    def _compute():
+        old, old_eps = _events_per_second(spec, trace, requests,
+                                          num_replicas=4, fast=False)
+        new, new_eps = _events_per_second(spec, trace, requests,
+                                          num_replicas=4, fast=True)
+        assert new.summary == old.summary
+        assert new.fleet.as_dict() == old.fleet.as_dict()
+        return [{
+            "replicas": 4,
+            "events": new.num_events,
+            "old_events_per_s": round(old_eps),
+            "new_events_per_s": round(new_eps),
+            "speedup": round(new_eps / old_eps, 2),
+            "mean_latency_s": round(new.summary.mean_latency, 3),
+        }]
+
+    rows = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    show("Bursty 4-replica fleet — old vs new fast paths (identical metrics)", rows)
+    benchmark.extra_info["bursty_scenario"] = rows
+    assert rows[0]["speedup"] >= 1.05

@@ -6,7 +6,11 @@ Fails (exit code 1) when the documentation drifts from the code:
 * every ``repro.*`` dotted name mentioned in README.md or docs/*.md must
   resolve to an importable module, or to an attribute of one;
 * every ``python -m repro.cli <subcommand> --flag ...`` line inside a fenced
-  code block must name a real subcommand and real flags of that subcommand;
+  code block must name a real subcommand and real flags — walking *nested*
+  subcommand trees (``scenario run``) to the deepest parser, so each flag is
+  checked against the parser that actually owns it;
+* every repo-relative file path a CLI line references (config files, traces)
+  must exist, so cookbook commands keep working as files move;
 * every relative file link / path reference checked must exist.
 
 Run with::
@@ -53,38 +57,58 @@ def check_dotted_names(text: str, errors: list[str], *, source: str) -> None:
             )
 
 
+def _subparsers_action(parser: argparse.ArgumentParser) -> argparse._SubParsersAction | None:
+    """The parser's subcommand action, or None for a leaf parser."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action
+    return None
+
+
+def _check_cli_tokens(tokens: list[str], parser: argparse.ArgumentParser,
+                      errors: list[str], *, source: str, path: str) -> None:
+    """Walk one CLI line down the (possibly nested) subcommand tree."""
+    subparsers = _subparsers_action(parser)
+    if subparsers is not None:
+        if not tokens:
+            errors.append(f"{source}: CLI line {path!r} is missing a subcommand")
+            return
+        subcommand = tokens[0]
+        subparser = subparsers.choices.get(subcommand)
+        if subparser is None:
+            errors.append(
+                f"{source}: unknown CLI subcommand {(path + ' ' + subcommand).strip()!r}"
+            )
+            return
+        _check_cli_tokens(tokens[1:], subparser, errors, source=source,
+                          path=(path + " " + subcommand).strip())
+        return
+    known_flags = {
+        option for action in parser._actions for option in action.option_strings
+    }
+    for token in tokens:
+        if token.startswith("--"):
+            flag = token.split("=", 1)[0]
+            if flag not in known_flags:
+                errors.append(f"{source}: subcommand {path!r} has no flag {flag!r}")
+        elif "/" in token and not token.startswith(("/", "-")):
+            # A repo-relative file argument (e.g. a scenario config) must exist;
+            # absolute paths (/tmp output files) are runtime artefacts, skipped.
+            if not (REPO_ROOT / token).exists():
+                errors.append(
+                    f"{source}: CLI line {path!r} references missing file {token!r}"
+                )
+
+
 def check_cli_lines(text: str, errors: list[str], *, source: str) -> None:
     """Verify CLI invocations in fenced code blocks against the real parser."""
     from repro.cli import build_parser
 
     parser = build_parser()
-    subparsers = next(
-        action for action in parser._actions
-        if isinstance(action, argparse._SubParsersAction)
-    )
     for block in FENCED_BLOCK.findall(text):
         for match in CLI_LINE.finditer(block):
             tokens = match.group(1).split()
-            if not tokens:
-                errors.append(f"{source}: CLI line with no subcommand")
-                continue
-            subcommand = tokens[0]
-            subparser = subparsers.choices.get(subcommand)
-            if subparser is None:
-                errors.append(f"{source}: unknown CLI subcommand {subcommand!r}")
-                continue
-            known_flags = {
-                option
-                for action in subparser._actions
-                for option in action.option_strings
-            }
-            for token in tokens[1:]:
-                if token.startswith("--"):
-                    flag = token.split("=", 1)[0]
-                    if flag not in known_flags:
-                        errors.append(
-                            f"{source}: subcommand {subcommand!r} has no flag {flag!r}"
-                        )
+            _check_cli_tokens(tokens, parser, errors, source=source, path="")
 
 
 def check_links(text: str, errors: list[str], *, source: str, base: Path) -> None:

@@ -15,9 +15,10 @@ organises the system:
   estimation, and SRJF scheduling with continuous JCT calibration;
 * ``repro.baselines`` — the PagedAttention, chunked prefill, tensor parallel,
   and pipeline parallel baselines;
-* ``repro.workloads`` — the post recommendation and credit verification traces;
+* ``repro.workloads`` — the post recommendation and credit verification
+  traces, the multi-tenant mixer, and JSONL trace record/replay;
 * ``repro.simulation`` — the discrete-event serving simulator, arrival
-  processes, and routing policies;
+  processes, routing policies, and the config-driven scenario engine;
 * ``repro.cluster`` — the fleet layer: multi-replica serving with admission
   control and reactive autoscaling;
 * ``repro.frontend`` — the in-process OpenAI-compatible request path;
@@ -67,10 +68,14 @@ from repro.execution import MicroTransformer, MicroTransformerConfig
 from repro.simulation import (
     BurstArrivalProcess,
     LeastLoadedRouter,
+    MMPPArrivalProcess,
     PoissonArrivalProcess,
     PrefixAffinityRouter,
     ServingSystem,
     UserIdRouter,
+    load_scenario,
+    make_arrival,
+    run_scenario,
     simulate,
     simulate_fleet,
 )
@@ -83,8 +88,12 @@ from repro.cluster import (
 from repro.workloads import (
     CreditVerificationWorkload,
     PostRecommendationWorkload,
+    TenantSpec,
     get_workload,
     list_workloads,
+    load_trace,
+    mix_tenants,
+    save_trace,
 )
 from repro.frontend import CompletionRequest, PrefillOnlyFrontend
 from repro.analysis import (
@@ -135,12 +144,16 @@ __all__ = [
     # serving
     "BurstArrivalProcess",
     "PoissonArrivalProcess",
+    "MMPPArrivalProcess",
+    "make_arrival",
     "UserIdRouter",
     "LeastLoadedRouter",
     "PrefixAffinityRouter",
     "ServingSystem",
     "simulate",
     "simulate_fleet",
+    "load_scenario",
+    "run_scenario",
     # cluster fleet
     "Fleet",
     "ReplicaSpec",
@@ -149,8 +162,12 @@ __all__ = [
     # workloads
     "CreditVerificationWorkload",
     "PostRecommendationWorkload",
+    "TenantSpec",
+    "mix_tenants",
     "get_workload",
     "list_workloads",
+    "save_trace",
+    "load_trace",
     # frontend
     "CompletionRequest",
     "PrefillOnlyFrontend",

@@ -111,3 +111,28 @@ def format_fleet_report(result) -> str:
     if result.fleet.scale_events:
         sections.append(format_table(list(result.fleet.scale_events), title="Scale events"))
     return "\n\n".join(sections)
+
+
+def format_scenario_report(scenario_result) -> str:
+    """Render a scenario run as the fleet report plus a per-tenant table.
+
+    Args:
+        scenario_result: A
+            :class:`~repro.simulation.scenario.ScenarioResult` (duck-typed:
+            anything exposing ``spec``, ``result``, ``tenants``, and
+            ``trace_path`` works).
+
+    Returns:
+        The fleet report for the whole run, a per-tenant latency/SLO table,
+        and — when the run was recorded — the trace path, separated by blank
+        lines.
+    """
+    sections = [format_fleet_report(scenario_result.result)]
+    tenant_rows = [report.as_dict() for report in scenario_result.tenants]
+    if tenant_rows:
+        sections.append(format_table(
+            tenant_rows, title=f"Per-tenant summary ({scenario_result.spec.name})"
+        ))
+    if scenario_result.trace_path is not None:
+        sections.append(f"Trace recorded to {scenario_result.trace_path}")
+    return "\n\n".join(sections)

@@ -8,24 +8,30 @@ Subcommands map to the main things a user wants to do without writing code:
 * ``prefillonly compare``   — compare every engine at one offered QPS;
 * ``prefillonly workload``  — print a workload's Table 1 summary;
 * ``prefillonly fleet``     — simulate a multi-replica fleet (routing,
-  admission control, autoscaling) and print the fleet report.
+  admission control, autoscaling) and print the fleet report;
+* ``prefillonly scenario``  — the scenario engine: ``run`` / ``replay`` a
+  config-file scenario (multi-tenant mixes, bursty/diurnal/flash-crowd/
+  closed-loop arrivals, trace recording) or list the ``arrivals``.  The
+  cookbook in ``docs/SCENARIOS.md`` has one worked example per knob.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.analysis.mil import mil_table
-from repro.analysis.reporting import format_fleet_report, format_table
+from repro.analysis.reporting import format_fleet_report, format_scenario_report, format_table
 from repro.analysis.sweep import compare_engines, paper_qps_points, base_throughput, qps_sweep
 from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
 from repro.model.config import MODEL_REGISTRY, get_model
 from repro.hardware.gpu import GPU_REGISTRY
-from repro.simulation.arrival import BurstArrivalProcess, PoissonArrivalProcess
+from repro.simulation.arrival import ARRIVAL_FACTORIES, BurstArrivalProcess, PoissonArrivalProcess
 from repro.simulation.routing import ROUTER_FACTORIES, make_router
+from repro.simulation.scenario import load_scenario, replay_scenario, run_scenario
 from repro.simulation.simulator import simulate_fleet
 from repro.workloads.registry import get_workload, list_workloads
 
@@ -132,6 +138,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    spec = load_scenario(args.config)
+    result = run_scenario(
+        spec, record=args.record,
+        use_event_queue=not args.legacy_loop,
+        engine_fast_paths=not args.legacy_loop,
+    )
+    print(format_scenario_report(result))
+    return 0
+
+
+def _cmd_scenario_replay(args: argparse.Namespace) -> int:
+    spec = load_scenario(args.config)
+    result = replay_scenario(spec, args.trace)
+    print(format_scenario_report(result))
+    return 0
+
+
+def _cmd_scenario_arrivals(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(ARRIVAL_FACTORIES):
+        factory = ARRIVAL_FACTORIES[name]
+        params = ", ".join(
+            f.name for f in dataclasses.fields(factory) if f.name != "seed"
+        )
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        rows.append({"arrival": name, "parameters": params, "description": doc})
+    print(format_table(rows, title="Arrival processes"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="prefillonly",
@@ -192,6 +229,37 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--autoscale-cooldown", type=float, default=60.0)
     fleet_parser.add_argument("--seed", type=int, default=0)
     fleet_parser.set_defaults(func=_cmd_fleet)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run / replay config-file scenarios (see docs/SCENARIOS.md)"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario from a JSON config file"
+    )
+    scenario_run.add_argument("--config", required=True,
+                              help="path to the scenario JSON config")
+    scenario_run.add_argument("--record", default=None, metavar="TRACE",
+                              help="record the request stream to this JSONL trace file")
+    scenario_run.add_argument("--legacy-loop", action="store_true",
+                              help="use the pre-heap event loop and cache scans "
+                                   "(identical results, for comparison)")
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    scenario_replay = scenario_sub.add_parser(
+        "replay", help="replay a recorded trace through a scenario's fleet"
+    )
+    scenario_replay.add_argument("--config", required=True,
+                                 help="path to the scenario JSON config")
+    scenario_replay.add_argument("--trace", required=True,
+                                 help="path to a recorded repro-trace/v1 JSONL file")
+    scenario_replay.set_defaults(func=_cmd_scenario_replay)
+
+    scenario_arrivals = scenario_sub.add_parser(
+        "arrivals", help="list the registered arrival processes"
+    )
+    scenario_arrivals.set_defaults(func=_cmd_scenario_arrivals)
 
     return parser
 

@@ -19,8 +19,14 @@ production-shaped serving tier:
 
 Replica clocks are advanced lazily: an event at simulated time *t* only
 advances replicas whose next internal event is due at or before *t*, so a
-mostly idle fleet costs almost nothing per event regardless of its size.  The
-driving loop lives in :func:`repro.simulation.simulator.simulate_fleet`.
+mostly idle fleet costs almost nothing per event regardless of its size.  By
+default the fleet finds those due replicas with a heap-based
+:class:`~repro.simulation.events.EventQueue` (one live entry per serving
+replica, refreshed whenever a replica is submitted to, advanced, or scaled)
+instead of scanning every replica per event; construct with
+``use_event_queue=False`` to get the original linear scans — the results are
+identical, and the flag exists for the before/after benchmark.  The driving
+loop lives in :func:`repro.simulation.simulator.simulate_fleet`.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.hardware.cluster import HardwareSetup
 from repro.hardware.gpu import GPUSpec
 from repro.hardware.interconnect import Interconnect
 from repro.model.config import ModelConfig, get_model
+from repro.simulation.events import EventQueue
 from repro.simulation.routing import Router, UserIdRouter
 from repro.cluster.admission import AdmissionPolicy
 from repro.cluster.autoscaler import Autoscaler, ScaleEvent
@@ -61,6 +68,7 @@ class _ReplicaState:
 
     instance: EngineInstance
     created_at: float
+    key: int = 0
     retired_at: float | None = None
     draining: bool = False
 
@@ -90,6 +98,13 @@ class Fleet:
         admission: Optional load-shedding policy consulted before routing.
         autoscaler: Optional reactive autoscaler.
         name: Fleet name used in reports.
+        use_event_queue: Track per-replica next-event times in a heap (default)
+            instead of scanning every replica per event.  Results are
+            identical; ``False`` restores the original scans for comparison.
+        engine_fast_paths: Build replicas with the engine-level fast paths
+            (heap-based prefix-cache eviction, incremental JCT-calibration
+            lookups).  Results are identical; the flag exists for the
+            old-vs-new event-loop benchmark.
     """
 
     def __init__(self, replica_specs: list[ReplicaSpec], model: ModelConfig, *,
@@ -97,7 +112,9 @@ class Fleet:
                  router: Router | None = None,
                  admission: AdmissionPolicy | None = None,
                  autoscaler: Autoscaler | None = None,
-                 name: str = "fleet") -> None:
+                 name: str = "fleet",
+                 use_event_queue: bool = True,
+                 engine_fast_paths: bool = True) -> None:
         if not replica_specs:
             raise ConfigurationError("a fleet needs at least one replica spec")
         self.name = name
@@ -106,10 +123,13 @@ class Fleet:
         self.template = replica_specs[0]
         self.admission = admission
         self.autoscaler = autoscaler
+        self._engine_fast_paths = engine_fast_paths
         self.stats = FleetStats()
         self.scale_events: list[ScaleEvent] = []
         self._shed: list[FinishedRequest] = []
         self._replica_seq = 0
+        self._events: EventQueue | None = EventQueue() if use_event_queue else None
+        self._states_by_key: dict[int, _ReplicaState] = {}
         self._active: list[_ReplicaState] = [
             self._build_replica(spec, now=0.0) for spec in replica_specs
         ]
@@ -163,8 +183,17 @@ class Fleet:
             interconnect=spec.interconnect,
             max_input_length=self.max_input_length,
             name=f"{spec.engine.name}-{index}",
+            fast_paths=self._engine_fast_paths,
         )
-        return _ReplicaState(instance=instance, created_at=now)
+        state = _ReplicaState(instance=instance, created_at=now, key=index)
+        self._states_by_key[index] = state
+        self._refresh_event(state)
+        return state
+
+    def _refresh_event(self, state: _ReplicaState) -> None:
+        """Record the replica's current next-event time in the event queue."""
+        if self._events is not None:
+            self._events.update(state.key, state.instance.next_event_time())
 
     # ---------------------------------------------------------------- state
 
@@ -210,7 +239,10 @@ class Fleet:
         self.stats.num_submitted += 1
         if self.autoscaler is not None:
             self.autoscaler.observe_arrival(now)
-        depths = self.queue_depths()
+        if self.admission is not None or self.router.needs_queue_depths:
+            depths = self.queue_depths()
+        else:
+            depths = []
         if self.admission is not None:
             decision = self.admission.admit(request, depths, now)
             if not decision.admitted:
@@ -234,10 +266,13 @@ class Fleet:
         state.instance.submit(request, now)
         self.stats.num_routed += 1
         self._observe(state.instance.advance_to(now))
+        self._refresh_event(state)
         return state.instance
 
     def next_event_time(self) -> float | None:
         """Earliest internal event across routable and draining replicas."""
+        if self._events is not None:
+            return self._events.next_time()
         times = [
             t for t in (
                 state.instance.next_event_time() for state in self._all_serving()
@@ -254,11 +289,27 @@ class Fleet:
         have emptied, and returns the requests that finished on the way.
         """
         finished: list[FinishedRequest] = []
-        for state in self._all_serving():
-            next_time = state.instance.next_event_time()
-            if next_time is None or next_time > now:
-                continue
-            finished.extend(state.instance.advance_to(now))
+        if self._events is not None:
+            due = self._events.pop_due(now)
+            if len(due) == 1:
+                state = self._states_by_key[due[0]]
+                finished.extend(state.instance.advance_to(now))
+                self._refresh_event(state)
+            elif due:
+                # Advance in serving order (actives, then draining) so the
+                # autoscaler observes completions in the same order the
+                # linear-scan path produced.
+                due_keys = set(due)
+                for state in self._all_serving():
+                    if state.key in due_keys:
+                        finished.extend(state.instance.advance_to(now))
+                        self._refresh_event(state)
+        else:
+            for state in self._all_serving():
+                next_time = state.instance.next_event_time()
+                if next_time is None or next_time > now:
+                    continue
+                finished.extend(state.instance.advance_to(now))
         self._observe(finished)
         self._retire_drained(now)
         return finished
@@ -311,11 +362,15 @@ class Fleet:
         return event
 
     def _retire_drained(self, now: float) -> None:
+        if not self._draining:
+            return
         still_draining: list[_ReplicaState] = []
         for state in self._draining:
             if state.instance.is_idle():
                 state.retired_at = now
                 self._retired.append(state)
+                if self._events is not None:
+                    self._events.discard(state.key)
             else:
                 still_draining.append(state)
         self._draining = still_draining

@@ -198,6 +198,10 @@ class EngineInstance:
         interconnect: Link between shards (needed when TP or PP > 1).
         max_input_length: User-provided MIL used by the profile run.
         name: Instance name (unique within a serving system).
+        fast_paths: Use the heap-based prefix-cache eviction and the
+            incremental JCT-calibration lookup (default).  Behaviour is
+            identical either way; ``False`` restores the original full scans
+            for before/after benchmarks.
 
     Raises:
         CapacityError: if the profile run shows that a ``max_input_length``-token
@@ -206,7 +210,8 @@ class EngineInstance:
 
     def __init__(self, spec: EngineSpec, model: ModelConfig, gpu: GPUSpec, *,
                  interconnect: Interconnect | None = None,
-                 max_input_length: int, name: str = "instance-0") -> None:
+                 max_input_length: int, name: str = "instance-0",
+                 fast_paths: bool = True) -> None:
         if spec.gpus_per_instance > 1 and interconnect is None:
             raise ConfigurationError(
                 f"engine {spec.name!r} uses {spec.gpus_per_instance} GPUs per instance "
@@ -245,6 +250,7 @@ class EngineInstance:
             block_size=spec.kv_block_size,
             offload_store=offload_store,
             enable_prefix_caching=spec.enable_prefix_caching,
+            use_eviction_heap=fast_paths,
         )
         estimator: JCTEstimator | None = None
         if spec.use_fitted_jct:
@@ -256,7 +262,8 @@ class EngineInstance:
                 chunk_tokens=spec.chunk_tokens,
             )
         self.scheduler: Scheduler = make_scheduler(
-            spec.scheduling_policy, estimator=estimator, fairness_lambda=spec.fairness_lambda
+            spec.scheduling_policy, estimator=estimator, fairness_lambda=spec.fairness_lambda,
+            incremental_lookup=fast_paths,
         )
         self._waiting: list[EngineRequest] = []
         self._stages = [_Stage(index=i) for i in range(spec.pipeline_parallel)]

@@ -64,6 +64,15 @@ class EngineRequest:
             return self._calibration[1], self._calibration[2]
         return None
 
+    def last_calibration(self) -> tuple[int, int, float] | None:
+        """The most recent memo — (version, cached tokens, score).
+
+        Unlike :meth:`calibration` this returns the memo even when the cache
+        version has moved on; the scheduler uses the old match as the starting
+        hint for an incremental re-lookup instead of re-walking from the root.
+        """
+        return self._calibration
+
     def store_calibration(self, cache_version: int, cached_tokens: int, score: float) -> None:
         """Memoise one calibration result."""
         self._calibration = (cache_version, cached_tokens, score)

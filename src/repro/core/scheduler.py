@@ -87,16 +87,23 @@ class SRJFScheduler(Scheduler):
             count against the current prefix cache before each scheduling step
             (PrefillOnly's behaviour).  When False, the cached-token count
             captured at submit time is used forever (traditional SRJF).
+        incremental_lookup: Recalibrate with the incremental
+            :meth:`~repro.kvcache.manager.KVCacheManager.lookup_from` (default)
+            instead of a full hash-chain walk per request per cache change.
+            Scores are identical; ``False`` restores the original walks for
+            before/after benchmarks.
     """
 
     def __init__(self, *, estimator: JCTEstimator | None = None,
                  fairness_lambda: float = DEFAULT_FAIRNESS_LAMBDA,
-                 continuous_calibration: bool = True) -> None:
+                 continuous_calibration: bool = True,
+                 incremental_lookup: bool = True) -> None:
         if fairness_lambda < 0:
             raise SchedulingError("fairness_lambda must be non-negative")
         self._estimator = estimator
         self._lambda = fairness_lambda
         self._continuous = continuous_calibration
+        self._incremental = incremental_lookup
         self.name = "srjf-calibrated" if continuous_calibration else "srjf"
 
     @property
@@ -116,7 +123,16 @@ class SRJFScheduler(Scheduler):
         request.initial_cached_tokens = kv.lookup(request.block_hashes)
 
     def _calibrate(self, request: EngineRequest, kv: KVCacheManager) -> tuple[int, float]:
-        """Return (cached tokens, base score) for a request, memoised per cache version."""
+        """Return (cached tokens, base score) for a request, memoised per cache version.
+
+        A memo from an older cache version is not discarded: its match length
+        seeds :meth:`~repro.kvcache.manager.KVCacheManager.lookup_from`, which
+        backtracks / extends incrementally from the old match instead of
+        re-walking the request's hash chain from the root.  The cached-token
+        count (and hence the score) is identical to a fresh lookup; only the
+        O(queue × prefix-length) rescan the continuous calibration otherwise
+        pays on every cache change is gone.
+        """
         if not self._continuous:
             cached = request.initial_cached_tokens
             return cached, self._base_score(request.num_tokens, cached)
@@ -124,7 +140,11 @@ class SRJFScheduler(Scheduler):
         memoised = request.calibration(version)
         if memoised is not None:
             return memoised
-        cached = kv.lookup(request.block_hashes)
+        stale = request.last_calibration() if self._incremental else None
+        if stale is not None:
+            cached = kv.lookup_from(request.block_hashes, stale[1] // kv.block_size)
+        else:
+            cached = kv.lookup(request.block_hashes)
         score = self._base_score(request.num_tokens, cached)
         request.store_calibration(version, cached, score)
         return cached, score
@@ -144,7 +164,8 @@ class SRJFScheduler(Scheduler):
 
 
 def make_scheduler(policy: str, *, estimator: JCTEstimator | None = None,
-                   fairness_lambda: float = DEFAULT_FAIRNESS_LAMBDA) -> Scheduler:
+                   fairness_lambda: float = DEFAULT_FAIRNESS_LAMBDA,
+                   incremental_lookup: bool = True) -> Scheduler:
     """Build a scheduler by policy name.
 
     Args:
@@ -152,6 +173,7 @@ def make_scheduler(policy: str, *, estimator: JCTEstimator | None = None,
             ``"srjf-calibrated"`` (PrefillOnly's continuous calibration).
         estimator: Optional fitted JCT model for the SRJF variants.
         fairness_lambda: λ for the SRJF variants.
+        incremental_lookup: See :class:`SRJFScheduler`.
     """
     if policy == "fcfs":
         return FCFSScheduler()
@@ -161,7 +183,8 @@ def make_scheduler(policy: str, *, estimator: JCTEstimator | None = None,
         )
     if policy == "srjf-calibrated":
         return SRJFScheduler(
-            estimator=estimator, fairness_lambda=fairness_lambda, continuous_calibration=True
+            estimator=estimator, fairness_lambda=fairness_lambda, continuous_calibration=True,
+            incremental_lookup=incremental_lookup,
         )
     raise SchedulingError(
         f"unknown scheduling policy {policy!r}; expected 'fcfs', 'srjf', or 'srjf-calibrated'"

@@ -43,3 +43,40 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
+
+
+class UnknownNameError(ReproError):
+    """A registry lookup used a name that is not registered.
+
+    Raised by the name-based registries (workloads, arrival processes,
+    routers, ...) so callers can distinguish a typo from a misconfigured
+    generator, and can present the valid choices to the user.
+
+    Attributes:
+        kind: What was being looked up (``"workload"``, ``"arrival process"``, ...).
+        name: The name that failed to resolve.
+        available: The registered names, sorted.
+    """
+
+    def __init__(self, kind: str, name: str, available: list[str] | tuple[str, ...]) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = sorted(available)
+        super().__init__(
+            f"unknown {kind} {name!r}; available: {', '.join(self.available)}"
+        )
+
+
+class UnknownWorkloadError(UnknownNameError, WorkloadError):
+    """A workload registry lookup used an unregistered name.
+
+    Subclasses :class:`WorkloadError` as well, so existing ``except
+    WorkloadError`` handlers keep working.
+    """
+
+    def __init__(self, name: str, available: list[str] | tuple[str, ...]) -> None:
+        super().__init__("workload", name, available)
+
+
+class ScenarioError(ReproError):
+    """A scenario configuration is invalid, or a trace file is malformed."""

@@ -94,14 +94,15 @@ class KVCacheManager:
 
     def __init__(self, capacity_tokens: int, *, block_size: int = 256,
                  offload_store: CPUOffloadStore | None = None,
-                 enable_prefix_caching: bool = True) -> None:
+                 enable_prefix_caching: bool = True,
+                 use_eviction_heap: bool = True) -> None:
         if capacity_tokens < 0:
             raise CapacityError("capacity_tokens must be non-negative")
         self._block_size = block_size
         self._capacity_tokens = capacity_tokens
         num_blocks = capacity_tokens // block_size
         self._allocator = BlockAllocator(num_blocks, block_size)
-        self._cache = RadixPrefixCache(self._allocator)
+        self._cache = RadixPrefixCache(self._allocator, use_eviction_heap=use_eviction_heap)
         self._offload = offload_store
         self._enable_prefix_caching = enable_prefix_caching
         self._requests = 0
@@ -168,6 +169,28 @@ class KVCacheManager:
         if not self._enable_prefix_caching:
             return 0
         return self._cache.match_length(block_hashes) * self._block_size
+
+    def lookup_from(self, block_hashes: Sequence[int], hint_blocks: int) -> int:
+        """:meth:`lookup`, resumed from a previous match of ``hint_blocks`` blocks.
+
+        Exploits the radix-tree invariant that only leaves are ever evicted —
+        if a chained block hash is resident, its whole ancestor chain is too.
+        The walk therefore backtracks from the hint to the deepest
+        still-resident block (zero steps when nothing on this chain was
+        evicted) and extends forward from there, instead of re-walking from
+        the root.  The result is exactly ``lookup(block_hashes)``; only the
+        cost differs — O(blocks changed on this chain) instead of O(match
+        length) per continuous-calibration pass.
+        """
+        if not self._enable_prefix_caching:
+            return 0
+        cache = self._cache
+        matched = min(hint_blocks, len(block_hashes))
+        while matched > 0 and block_hashes[matched - 1] not in cache:
+            matched -= 1
+        while matched < len(block_hashes) and block_hashes[matched] in cache:
+            matched += 1
+        return matched * self._block_size
 
     def lookup_offloaded(self, block_hashes: Sequence[int]) -> int:
         """Tokens of the request available in the CPU offload store."""

@@ -9,10 +9,22 @@ semantics of vLLM's automatic prefix caching.
 
 Eviction is LRU over *leaf* nodes that are not pinned by a running request
 (evicting an interior node would orphan its descendants' hash chains).
+
+Victim selection uses a lazy min-heap of ``(last_access, creation_seq, node)``
+candidates rather than scanning every node per eviction: an entry is pushed
+when a node is created and when it becomes a leaf again after a child is
+evicted, and entries are validated when popped — dead and interior nodes are
+dropped, a node whose timestamp moved since its entry was pushed is re-keyed
+in place (lazy decrease-key, so cache touches stay O(1)), and pinned
+candidates are pushed back once the eviction pass ends.  The creation-sequence
+tie-break reproduces the iteration order the original full scan used, so the
+heap evicts the exact same victims in the exact same order; construct with
+``use_eviction_heap=False`` to get the original O(tree) scan for comparison.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -29,6 +41,7 @@ class _TreeNode:
     block: Block
     parent: "_TreeNode | None"
     children: dict[int, "_TreeNode"] = field(default_factory=dict)
+    seq: int = 0
 
     @property
     def is_leaf(self) -> bool:
@@ -58,17 +71,29 @@ class RadixPrefixCache:
 
     Args:
         allocator: Shared physical block pool.
+        use_eviction_heap: Select eviction victims with the lazy LRU heap
+            (default) instead of a full-tree scan per eviction.  The victim
+            order is identical; the flag exists for before/after benchmarks.
     """
 
-    def __init__(self, allocator: BlockAllocator) -> None:
+    def __init__(self, allocator: BlockAllocator, *, use_eviction_heap: bool = True) -> None:
         self._allocator = allocator
         self._nodes: dict[int, _TreeNode] = {}
         self._roots: dict[int, _TreeNode] = {}
+        self._lru_heap: list[tuple[float, int, _TreeNode]] | None = (
+            [] if use_eviction_heap else None
+        )
+        self._node_seq = 0
         self._version = 0
         self._hits = 0
         self._misses = 0
         self._insertions = 0
         self._evictions = 0
+
+    def _note_candidate(self, node: _TreeNode) -> None:
+        """Push a fresh LRU-heap entry for ``node`` at its current timestamp."""
+        if self._lru_heap is not None:
+            heapq.heappush(self._lru_heap, (node.block.last_access, node.seq, node))
 
     # ---------------------------------------------------------------- state
 
@@ -178,12 +203,17 @@ class RadixPrefixCache:
                 )
                 if block is None:
                     break
-                node = _TreeNode(content_hash=content_hash, block=block, parent=parent)
+                node = _TreeNode(
+                    content_hash=content_hash, block=block, parent=parent,
+                    seq=self._node_seq,
+                )
+                self._node_seq += 1
                 if parent is None:
                     self._roots[content_hash] = node
                 else:
                     parent.children[content_hash] = node
                 self._nodes[content_hash] = node
+                self._note_candidate(node)
                 node.block.pin()
                 path.append(node.block)
                 parent = node
@@ -227,6 +257,8 @@ class RadixPrefixCache:
 
     def evict_blocks(self, count: int) -> int:
         """Evict up to ``count`` blocks in LRU order; return how many were evicted."""
+        if self._lru_heap is not None:
+            return self._evict_from_heap(count)
         evicted = 0
         while evicted < count:
             victim = min(
@@ -240,11 +272,49 @@ class RadixPrefixCache:
             evicted += 1
         return evicted
 
+    def _evict_from_heap(self, count: int) -> int:
+        """Heap-based victim selection (same LRU order as the full scan).
+
+        Every evictable node has at least one heap entry — pushed at its
+        creation and whenever it becomes a leaf again — whose key never
+        *overestimates* the node's recency (``touch`` only moves timestamps
+        forward).  Popping therefore surfaces candidates in optimistic order:
+        a dead or interior node is dropped, a node whose timestamp moved since
+        the entry was pushed is re-keyed at its current ``last_access`` (lazy
+        decrease-key, paid only when evictions actually happen rather than on
+        every cache touch), and a pinned candidate is parked and re-pushed
+        after the pass.  The first entry that survives validation is the true
+        ``(last_access, seq)`` minimum over evictable leaves — the exact node
+        ``min`` over the full scan would have picked.
+        """
+        heap = self._lru_heap
+        pinned: list[tuple[float, int, _TreeNode]] = []
+        evicted = 0
+        while evicted < count and heap:
+            entry = heapq.heappop(heap)
+            last_access, _, node = entry
+            if self._nodes.get(node.content_hash) is not node or not node.is_leaf:
+                continue
+            if node.block.last_access != last_access:
+                heapq.heappush(heap, (node.block.last_access, node.seq, node))
+                continue
+            if node.block.is_pinned:
+                pinned.append(entry)
+                continue
+            self._remove_node(node)
+            evicted += 1
+        for entry in pinned:
+            heapq.heappush(heap, entry)
+        return evicted
+
     def _remove_node(self, node: _TreeNode) -> None:
         if node.parent is None:
             self._roots.pop(node.content_hash, None)
         else:
             node.parent.children.pop(node.content_hash, None)
+            if node.parent.is_leaf:
+                # The parent just became evictable; give it a live heap entry.
+                self._note_candidate(node.parent)
         del self._nodes[node.content_hash]
         self._allocator.free(node.block)
         self._evictions += 1
@@ -284,4 +354,6 @@ class RadixPrefixCache:
             self._allocator.free(node.block)
         self._nodes.clear()
         self._roots.clear()
+        if self._lru_heap is not None:
+            self._lru_heap.clear()
         self._version += 1

@@ -32,6 +32,11 @@ class Router(abc.ABC):
             on every scale event).
     """
 
+    #: Whether :meth:`route` reads ``queue_depths``.  Routers that ignore them
+    #: (e.g. :class:`UserIdRouter`) set this False, letting the owning fleet
+    #: skip the O(instances) depth collection on every submit.
+    needs_queue_depths: bool = True
+
     def __init__(self, num_instances: int) -> None:
         if num_instances <= 0:
             raise ValueError("num_instances must be positive")
@@ -68,6 +73,8 @@ class Router(abc.ABC):
 
 class UserIdRouter(Router):
     """Round-robin assignment of *users* to instances (the paper's routing)."""
+
+    needs_queue_depths = False
 
     def __init__(self, num_instances: int) -> None:
         super().__init__(num_instances)

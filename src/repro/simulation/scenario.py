@@ -1,0 +1,347 @@
+"""The workload scenario engine: config-driven multi-tenant simulations.
+
+A *scenario* bundles everything one simulated serving deployment needs —
+which tenants send traffic (workload + parameters + arrival process + SLO),
+what serves it (engine, hardware setup, replica count, router, admission
+control, autoscaling) — into one declarative :class:`ScenarioSpec` that can be
+loaded from a JSON file, run, recorded to a ``repro-trace/v1`` JSONL file, and
+replayed bit-for-bit.  The ``prefillonly scenario`` CLI subcommand is a thin
+wrapper around this module; ``docs/SCENARIOS.md`` is the cookbook of worked
+examples.
+
+Config file shape (JSON)::
+
+    {
+      "name": "bursty-mix",
+      "engine": "prefillonly",          // registered engine spec
+      "setup": "h100",                  // registered hardware setup
+      "replicas": 4,                    // omit for one replica per GPU
+      "router": "user-id",              // user-id | least-loaded | prefix-affinity
+      "max_queue_depth": 32,            // optional admission control
+      "autoscale": {                    // optional reactive autoscaler
+        "min_replicas": 1, "max_replicas": 8,
+        "scale_up_rps_per_replica": 2.0,
+        "window_seconds": 30.0, "cooldown_seconds": 60.0
+      },
+      "seed": 0,
+      "tenants": [
+        {
+          "name": "social",
+          "workload": "post-recommendation",
+          "workload_params": {"num_users": 6, "posts_per_user": 10},
+          "weight": 1.0,
+          "slo_latency_s": 2.0,
+          "arrival": "mmpp",
+          "arrival_params": {"base_rate": 2.0, "burst_rate": 12.0}
+        }
+      ]
+    }
+
+Determinism: every random choice is owned by an explicit seed — the workload
+generators' (``workload_params.seed``, defaulting to the scenario seed), the
+arrival processes' (``arrival_params.seed``, defaulting to the scenario seed
+plus the tenant index plus one, so the default streams never collide), and
+the mixer's subsampling (salted from the scenario seed) — so the same config
+always produces the same request stream, and a recorded trace replays to the
+exact same metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.baselines.registry import get_engine_spec
+from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
+from repro.errors import ScenarioError
+from repro.hardware.cluster import get_hardware_setup
+from repro.simulation.arrival import make_arrival
+from repro.simulation.metrics import LatencySummary, summarize_finished
+from repro.simulation.routing import make_router
+from repro.simulation.simulator import FleetSimulationResult, simulate_fleet
+from repro.workloads.mixer import MixedTrace, TenantSpec, mix_tenants
+from repro.workloads.trace import Request
+from repro.workloads.tracefile import load_trace, save_trace
+
+__all__ = [
+    "ScenarioSpec",
+    "TenantReport",
+    "ScenarioResult",
+    "scenario_from_dict",
+    "load_scenario",
+    "build_mix",
+    "run_scenario",
+    "replay_scenario",
+]
+
+_TENANT_KEYS = {
+    "name", "workload", "workload_params", "weight", "slo_latency_s",
+    "arrival", "arrival_params",
+}
+_SCENARIO_KEYS = {
+    "name", "engine", "setup", "replicas", "router", "max_queue_depth",
+    "autoscale", "seed", "max_input_length", "tenants",
+}
+_AUTOSCALE_KEYS = {
+    "min_replicas", "max_replicas", "scale_up_rps_per_replica",
+    "window_seconds", "cooldown_seconds",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully described serving scenario (see the module docstring)."""
+
+    name: str
+    tenants: tuple[TenantSpec, ...]
+    engine: str = "prefillonly"
+    setup: str = "h100"
+    replicas: int | None = None
+    router: str = "user-id"
+    max_queue_depth: int | None = None
+    autoscale: dict | None = None
+    seed: int = 0
+    max_input_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ScenarioError(f"scenario {self.name!r} has no tenants")
+        if self.replicas is not None and self.replicas < 1:
+            raise ScenarioError(f"scenario {self.name!r}: replicas must be >= 1")
+        if self.autoscale is not None:
+            unknown = set(self.autoscale) - _AUTOSCALE_KEYS
+            if unknown:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: unknown autoscale keys {sorted(unknown)}"
+                )
+
+
+def _tenant_from_dict(entry: dict, *, index: int, scenario_seed: int) -> TenantSpec:
+    unknown = set(entry) - _TENANT_KEYS
+    if unknown:
+        raise ScenarioError(f"tenant #{index}: unknown keys {sorted(unknown)}")
+    for key in ("name", "workload", "arrival"):
+        if key not in entry:
+            raise ScenarioError(f"tenant #{index}: missing required key {key!r}")
+    workload_params = dict(entry.get("workload_params", {}))
+    workload_params.setdefault("seed", scenario_seed)
+    arrival_params = dict(entry.get("arrival_params", {}))
+    # Offset by index + 1 so no tenant's arrival stream shares a seed with
+    # another tenant's, nor with the workload generators' default above.
+    arrival_params.setdefault("seed", scenario_seed + index + 1)
+    return TenantSpec(
+        name=entry["name"],
+        workload=entry["workload"],
+        arrival=make_arrival(entry["arrival"], **arrival_params),
+        workload_params=workload_params,
+        weight=float(entry.get("weight", 1.0)),
+        slo_latency_s=entry.get("slo_latency_s"),
+    )
+
+
+def scenario_from_dict(config: dict) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from a plain config dict.
+
+    Raises:
+        ScenarioError: on unknown or missing keys (typos fail loudly rather
+            than silently falling back to defaults).
+    """
+    unknown = set(config) - _SCENARIO_KEYS
+    if unknown:
+        raise ScenarioError(f"unknown scenario keys {sorted(unknown)}")
+    if "name" not in config:
+        raise ScenarioError("scenario config needs a 'name'")
+    seed = int(config.get("seed", 0))
+    tenants = tuple(
+        _tenant_from_dict(entry, index=index, scenario_seed=seed)
+        for index, entry in enumerate(config.get("tenants", []))
+    )
+    return ScenarioSpec(
+        name=config["name"],
+        tenants=tenants,
+        engine=config.get("engine", "prefillonly"),
+        setup=config.get("setup", "h100"),
+        replicas=config.get("replicas"),
+        router=config.get("router", "user-id"),
+        max_queue_depth=config.get("max_queue_depth"),
+        autoscale=config.get("autoscale"),
+        seed=seed,
+        max_input_length=config.get("max_input_length"),
+    )
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Load a scenario config from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ScenarioError(f"scenario config not found: {path}")
+    try:
+        config = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path}: invalid JSON ({exc})") from None
+    if not isinstance(config, dict):
+        raise ScenarioError(f"{path}: scenario config must be a JSON object")
+    return scenario_from_dict(config)
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant slice of one scenario run."""
+
+    name: str
+    summary: LatencySummary
+    slo_latency_s: float | None = None
+    slo_attainment: float | None = None
+
+    def as_dict(self) -> dict:
+        """Row for the per-tenant report table."""
+        row = {
+            "tenant": self.name,
+            "requests": self.summary.num_requests,
+            "rejected": self.summary.num_rejected,
+            "mean_latency_s": round(self.summary.mean_latency, 3),
+            "p99_latency_s": round(self.summary.p99_latency, 3),
+            "throughput_rps": round(self.summary.throughput_rps, 3),
+            "slo_s": self.slo_latency_s if self.slo_latency_s is not None else "-",
+            "slo_attainment": (
+                round(self.slo_attainment, 3) if self.slo_attainment is not None else "-"
+            ),
+        }
+        return row
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produces.
+
+    Attributes:
+        spec: The scenario that ran.
+        result: The fleet-level simulation result.
+        tenants: Per-tenant reports, in the spec's tenant order.
+        trace_path: Where the request stream was recorded, if it was.
+    """
+
+    spec: ScenarioSpec
+    result: FleetSimulationResult
+    tenants: list[TenantReport] = field(default_factory=list)
+    trace_path: Path | None = None
+
+
+def build_mix(spec: ScenarioSpec) -> MixedTrace:
+    """Generate the scenario's merged multi-tenant request stream."""
+    return mix_tenants(spec.tenants, name=spec.name, seed=spec.seed)
+
+
+def _build_fleet(spec: ScenarioSpec, max_input_length: int, *,
+                 use_event_queue: bool, engine_fast_paths: bool) -> Fleet:
+    admission = None
+    if spec.max_queue_depth is not None:
+        admission = QueueDepthAdmission(spec.max_queue_depth)
+    autoscaler = None
+    if spec.autoscale is not None:
+        autoscaler = ReactiveAutoscaler(**spec.autoscale)
+    return Fleet.for_setup(
+        get_engine_spec(spec.engine), get_hardware_setup(spec.setup),
+        max_input_length=max_input_length,
+        num_replicas=spec.replicas,
+        router=make_router(spec.router, spec.replicas or 1),
+        admission=admission,
+        autoscaler=autoscaler,
+        name=spec.name,
+        use_event_queue=use_event_queue,
+        engine_fast_paths=engine_fast_paths,
+    )
+
+
+def _tenant_reports(spec: ScenarioSpec, requests: list[Request],
+                    result: FleetSimulationResult) -> list[TenantReport]:
+    """Slice the fleet result per tenant in one pass over the records."""
+    tenant_of = {
+        request.request_id: request.metadata.get("tenant") for request in requests
+    }
+    finished: dict[str, list] = {tenant.name: [] for tenant in spec.tenants}
+    rejected: dict[str, list] = {tenant.name: [] for tenant in spec.tenants}
+    for record in result.finished:
+        tenant = tenant_of.get(record.request_id)
+        if tenant in finished:
+            finished[tenant].append(record)
+    for record in result.rejected:
+        tenant = tenant_of.get(record.request_id)
+        if tenant in rejected:
+            rejected[tenant].append(record)
+    reports = []
+    for tenant in spec.tenants:
+        summary = summarize_finished(finished[tenant.name], rejected[tenant.name])
+        attainment = None
+        if tenant.slo_latency_s is not None and finished[tenant.name]:
+            within = sum(
+                1 for record in finished[tenant.name]
+                if record.latency <= tenant.slo_latency_s
+            )
+            attainment = within / len(finished[tenant.name])
+        reports.append(TenantReport(
+            name=tenant.name,
+            summary=summary,
+            slo_latency_s=tenant.slo_latency_s,
+            slo_attainment=attainment,
+        ))
+    return reports
+
+
+def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
+                 requests: list[Request] | None = None,
+                 use_event_queue: bool = True,
+                 engine_fast_paths: bool = True) -> ScenarioResult:
+    """Run a scenario end to end.
+
+    Args:
+        spec: The scenario to run.
+        record: Optional path; when given, the generated request stream (with
+            its arrival times) is saved as a ``repro-trace/v1`` JSONL file
+            before the simulation runs.
+        requests: Pre-built request stream (used by :func:`replay_scenario`);
+            skips workload generation and arrival assignment entirely.
+        use_event_queue / engine_fast_paths: Fast-path switches, identical
+            results either way (see :class:`repro.cluster.Fleet`).
+    """
+    if requests is None:
+        requests = build_mix(spec).requests
+    if not requests:
+        raise ScenarioError(f"scenario {spec.name!r} produced no requests")
+    trace_path = None
+    if record is not None:
+        trace_path = save_trace(
+            record, requests, name=spec.name, seed=spec.seed,
+            description={"tenants": [tenant.name for tenant in spec.tenants]},
+        )
+    max_input_length = spec.max_input_length
+    if max_input_length is None:
+        max_input_length = max(request.num_tokens for request in requests)
+    fleet = _build_fleet(
+        spec, max_input_length,
+        use_event_queue=use_event_queue, engine_fast_paths=engine_fast_paths,
+    )
+    result = simulate_fleet(fleet, requests)
+    return ScenarioResult(
+        spec=spec,
+        result=result,
+        tenants=_tenant_reports(spec, requests, result),
+        trace_path=trace_path,
+    )
+
+
+def replay_scenario(spec: ScenarioSpec, trace_path: str | Path, *,
+                    use_event_queue: bool = True,
+                    engine_fast_paths: bool = True) -> ScenarioResult:
+    """Replay a recorded trace through the scenario's serving configuration.
+
+    The trace supplies the exact request stream (ids, token segments, arrival
+    times); the spec supplies the fleet.  Replaying a trace recorded from the
+    same spec reproduces the original run's metrics exactly.
+    """
+    _, requests = load_trace(trace_path)
+    return run_scenario(
+        spec, requests=requests,
+        use_event_queue=use_event_queue, engine_fast_paths=engine_fast_paths,
+    )

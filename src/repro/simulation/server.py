@@ -27,10 +27,15 @@ class ServingSystem:
         max_input_length: MIL every instance is provisioned for (usually the
             workload's longest request).
         router: Routing policy; defaults to the paper's user-id router.
+        engine_fast_paths: Build instances with the engine-level fast paths
+            (heap-based prefix-cache eviction, incremental JCT-calibration
+            lookups).  Results are identical; ``False`` restores the original
+            scans for before/after benchmarks.
     """
 
     def __init__(self, spec: EngineSpec, model: ModelConfig, cluster: ClusterSpec, *,
-                 max_input_length: int, router: Router | None = None) -> None:
+                 max_input_length: int, router: Router | None = None,
+                 engine_fast_paths: bool = True) -> None:
         if cluster.num_gpus % spec.gpus_per_instance != 0:
             raise ConfigurationError(
                 f"engine {spec.name!r} needs {spec.gpus_per_instance} GPUs per instance, "
@@ -46,6 +51,7 @@ class ServingSystem:
                 interconnect=cluster.interconnect,
                 max_input_length=max_input_length,
                 name=f"{spec.name}-{index}",
+                fast_paths=engine_fast_paths,
             )
             for index in range(num_instances)
         ]
@@ -53,11 +59,13 @@ class ServingSystem:
 
     @classmethod
     def for_setup(cls, spec: EngineSpec, setup: HardwareSetup, *,
-                  max_input_length: int, router: Router | None = None) -> "ServingSystem":
+                  max_input_length: int, router: Router | None = None,
+                  engine_fast_paths: bool = True) -> "ServingSystem":
         """Build a serving system for one of the paper's hardware setups."""
         return cls(
             spec, get_model(setup.model_name), setup.cluster,
             max_input_length=max_input_length, router=router,
+            engine_fast_paths=engine_fast_paths,
         )
 
     # ---------------------------------------------------------------- state
@@ -81,7 +89,8 @@ class ServingSystem:
 
     def submit(self, request: Request, now: float) -> EngineInstance:
         """Route and submit one request; return the instance it landed on."""
-        index = self.router.route(request, self.queue_depths())
+        depths = self.queue_depths() if self.router.needs_queue_depths else []
+        index = self.router.route(request, depths)
         instance = self.instances[index]
         instance.submit(request, now)
         return instance

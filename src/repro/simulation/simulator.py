@@ -12,6 +12,14 @@ same two-source merge, but the fleet advances each replica on its own clock
 fleet's autoscaler gets a chance to add or drain a replica.  With a single
 replica and the same router, ``simulate_fleet`` reproduces :func:`simulate`
 exactly — the equivalence the fleet tests pin down.
+
+Both loops default to a heap-based fast path: instead of scanning every
+instance for its next event time on every iteration (O(instances) per event),
+an :class:`~repro.simulation.events.EventQueue` keeps one live heap entry per
+instance and only the instance an event actually touched is re-examined.  Pass
+``use_event_queue=False`` to run the original linear-scan loop — the two paths
+produce identical results (a property the test suite pins), so the flag exists
+for the before/after benchmark and as a cross-check.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import FinishedRequest
 from repro.errors import SimulationError
+from repro.simulation.events import EventQueue, TIME_EPSILON
 from repro.simulation.metrics import (
     FleetSummary,
     LatencySummary,
@@ -40,6 +49,7 @@ class SimulationResult:
     rejected: list[FinishedRequest]
     summary: LatencySummary
     cache_stats: list[dict] = field(default_factory=list)
+    num_events: int = 0
 
     @property
     def num_finished(self) -> int:
@@ -52,7 +62,8 @@ class SimulationResult:
 
 def simulate(system: ServingSystem, requests: list[Request], *,
              max_simulated_seconds: float = 1e7,
-             max_events: int = 10_000_000) -> SimulationResult:
+             max_events: int = 10_000_000,
+             use_event_queue: bool = True) -> SimulationResult:
     """Replay ``requests`` against ``system`` until everything drains.
 
     Args:
@@ -60,6 +71,8 @@ def simulate(system: ServingSystem, requests: list[Request], *,
         requests: Requests with ``arrival_time`` assigned, in any order.
         max_simulated_seconds: Safety limit on simulated time.
         max_events: Safety limit on processed events.
+        use_event_queue: Use the heap-based event queue (default) instead of
+            the linear scan; results are identical either way.
 
     Raises:
         SimulationError: if either safety limit is hit (which indicates a bug
@@ -70,11 +83,22 @@ def simulate(system: ServingSystem, requests: list[Request], *,
     now = 0.0
     events = 0
 
+    queue: EventQueue | None = None
+    if use_event_queue:
+        queue = EventQueue()
+        instances = system.instances
+        index_of = {id(instance): index for index, instance in enumerate(instances)}
+        for index, instance in enumerate(instances):
+            queue.update(index, instance.next_event_time())
+
     while True:
         next_arrival = (
             pending[arrival_index].arrival_time if arrival_index < len(pending) else math.inf
         )
-        next_internal = system.next_event_time()
+        if queue is not None:
+            next_internal = queue.next_time()
+        else:
+            next_internal = system.next_event_time()
         next_internal = math.inf if next_internal is None else next_internal
 
         if math.isinf(next_arrival) and math.isinf(next_internal):
@@ -91,6 +115,16 @@ def simulate(system: ServingSystem, requests: list[Request], *,
             arrival_index += 1
             instance = system.submit(request, now)
             instance.advance_to(now)
+            if queue is not None:
+                queue.update(index_of[id(instance)], instance.next_event_time())
+        elif queue is not None:
+            # The engine fires events within TIME_EPSILON of `now`, so drain
+            # every instance in that window — exactly the set the linear scan's
+            # whole-system advance would have moved.
+            for key in queue.pop_due(now, epsilon=TIME_EPSILON):
+                instance = instances[key]
+                instance.advance_to(now)
+                queue.update(key, instance.next_event_time())
         else:
             system.advance_to(now)
 
@@ -106,6 +140,7 @@ def simulate(system: ServingSystem, requests: list[Request], *,
         rejected=rejected,
         summary=summarize_finished(finished, rejected),
         cache_stats=system.cache_stats(),
+        num_events=events,
     )
 
 
@@ -124,6 +159,7 @@ class FleetSimulationResult:
     summary: LatencySummary
     fleet: FleetSummary
     cache_stats: list[dict] = field(default_factory=list)
+    num_events: int = 0
 
     @property
     def num_finished(self) -> int:
@@ -147,7 +183,9 @@ def simulate_fleet(fleet, requests: list[Request], *,
     and the fleet's earliest internal event wins.  On an arrival the fleet
     admits, routes, and advances only the replica that received the request;
     on an internal event only replicas with due events advance (per-replica
-    clocks).  After every event the fleet's autoscaler may scale.
+    clocks).  After every event the fleet's autoscaler may scale.  Whether the
+    fleet finds its due replicas with the event queue or a scan is the fleet's
+    own ``use_event_queue`` constructor flag.
 
     Args:
         fleet: The fleet under test.
@@ -209,4 +247,5 @@ def simulate_fleet(fleet, requests: list[Request], *,
             peak_replicas=fleet.stats.peak_replicas,
         ),
         cache_stats=fleet.cache_stats(),
+        num_events=events,
     )

@@ -1,33 +1,54 @@
-"""Workload registry: look up the paper's workloads by name."""
+"""Workload registry: look up workload generators by name.
+
+Ships with the paper's two datasets and accepts additional generators through
+:func:`register_workload` (the scenario engine uses the same registry, so a
+registered generator is immediately usable from scenario config files).
+"""
 
 from __future__ import annotations
 
-from repro.errors import WorkloadError
+from typing import Callable
+
+from repro.errors import UnknownWorkloadError
 from repro.workloads.credit_verification import CreditVerificationWorkload
 from repro.workloads.post_recommendation import PostRecommendationWorkload
 from repro.workloads.trace import WorkloadTrace
 
-_WORKLOAD_FACTORIES = {
+_WORKLOAD_FACTORIES: dict[str, Callable] = {
     "post-recommendation": PostRecommendationWorkload,
     "credit-verification": CreditVerificationWorkload,
 }
 
 
 def list_workloads() -> list[str]:
-    """Names of the registered workloads (the paper's two datasets)."""
+    """Names of the registered workloads (the paper's two datasets by default)."""
     return sorted(_WORKLOAD_FACTORIES)
+
+
+def register_workload(name: str, factory: Callable) -> None:
+    """Register ``factory`` under ``name``.
+
+    Args:
+        name: Registry key (kebab-case by convention).
+        factory: Callable accepting the generator's keyword parameters and
+            returning an object with a ``generate() -> WorkloadTrace`` method.
+    """
+    _WORKLOAD_FACTORIES[name] = factory
 
 
 def get_workload(name: str, **overrides) -> WorkloadTrace:
     """Generate a registered workload, optionally overriding its parameters.
 
     Args:
-        name: ``"post-recommendation"`` or ``"credit-verification"``.
+        name: A registered workload name (see :func:`list_workloads`).
         **overrides: Generator parameters (e.g. ``num_users=4`` for fast tests).
+
+    Raises:
+        UnknownWorkloadError: if ``name`` is not registered; the exception
+            carries the valid names in its ``available`` attribute.
     """
     try:
         factory = _WORKLOAD_FACTORIES[name]
     except KeyError:
-        known = ", ".join(list_workloads())
-        raise WorkloadError(f"unknown workload {name!r}; known workloads: {known}") from None
+        raise UnknownWorkloadError(name, list_workloads()) from None
     return factory(**overrides).generate()
