@@ -3,6 +3,7 @@
 #   make test        - tier-1 test suite (unit + property tests + benchmarks, small scale)
 #   make bench       - only the benchmark harness (regenerates tables/figures)
 #   make bench-paper - benchmark harness at the paper's full workload scale
+#   make bench-tiers - only the KV-tiering benchmark (tiered vs suffix discard)
 #   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
 #   make examples    - run every example script end to end
 #   make scenarios   - smoke-run every CLI example in docs/SCENARIOS.md
@@ -10,7 +11,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-paper docs-check examples scenarios
+.PHONY: test bench bench-paper bench-tiers docs-check examples scenarios
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +21,9 @@ bench:
 
 bench-paper:
 	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks -q -s
+
+bench-tiers:
+	$(PYTHON) -m pytest benchmarks/test_kv_tiers.py -q -s
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

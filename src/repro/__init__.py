@@ -63,7 +63,13 @@ from repro.baselines import (
 )
 from repro.hardware import get_gpu, get_hardware_setup, list_hardware_setups
 from repro.model import get_model, list_models
-from repro.kvcache import CommitPolicy, KVCacheManager
+from repro.kvcache import (
+    ClusterPrefixStore,
+    CommitPolicy,
+    KVCacheManager,
+    TierConfig,
+    TieredPrefixStore,
+)
 from repro.execution import MicroTransformer, MicroTransformerConfig
 from repro.simulation import (
     BurstArrivalProcess,
@@ -139,6 +145,9 @@ __all__ = [
     "list_models",
     "CommitPolicy",
     "KVCacheManager",
+    "TierConfig",
+    "TieredPrefixStore",
+    "ClusterPrefixStore",
     "MicroTransformer",
     "MicroTransformerConfig",
     # serving

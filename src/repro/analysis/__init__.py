@@ -20,6 +20,7 @@ from repro.analysis.reporting import (
     format_fleet_report,
     format_series,
     format_table,
+    format_tier_report,
     to_markdown_table,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "format_table",
     "format_series",
     "format_fleet_report",
+    "format_tier_report",
     "to_markdown_table",
 ]

@@ -110,6 +110,64 @@ def format_fleet_report(result) -> str:
         sections.append(format_table(replica_rows, title="Per-replica utilisation"))
     if result.fleet.scale_events:
         sections.append(format_table(list(result.fleet.scale_events), title="Scale events"))
+    if getattr(result.fleet, "offload", None) is not None:
+        sections.append(format_table(
+            [result.fleet.offload], title="CPU offload store (fleet aggregate)"
+        ))
+    if getattr(result.fleet, "tiers", None) is not None:
+        sections.append(format_tier_report(result.fleet.tiers))
+    return "\n\n".join(sections)
+
+
+def format_tier_report(tiers) -> str:
+    """Render per-tier hit rates and transfer accounting as plain-text tables.
+
+    Args:
+        tiers: A :class:`~repro.simulation.metrics.TierSummary` (duck-typed:
+            anything with its token counters, rate properties, block movement
+            fields, and optional ``cluster`` dict works).
+
+    Returns:
+        A per-tier hit table, a block-movement line, and — when the run had a
+        cluster store — the fleet-wide store counters with per-replica hits.
+    """
+    tier_rows = [
+        {"tier": "gpu (L1)", "tokens_served": tiers.tokens_hit_gpu,
+         "hit_rate": round(tiers.gpu_hit_rate, 3)},
+        {"tier": "host (L2)", "tokens_served": tiers.tokens_hit_host,
+         "hit_rate": round(tiers.host_hit_rate, 3)},
+        {"tier": "cluster (L3)", "tokens_served": tiers.tokens_hit_cluster,
+         "hit_rate": round(tiers.cluster_hit_rate, 3)},
+        {"tier": "(recomputed)",
+         "tokens_served": tiers.tokens_total - tiers.tokens_hit_gpu
+         - tiers.tokens_hit_host - tiers.tokens_hit_cluster,
+         "hit_rate": round(1.0 - tiers.tier_hit_rate, 3)},
+    ]
+    sections = [
+        format_table(tier_rows, title="KV tiers: per-tier hits"),
+        format_table([{
+            "promoted": tiers.promoted_blocks,
+            "demoted": tiers.demoted_blocks,
+            "prefetched": tiers.prefetched_blocks,
+            "dropped": tiers.dropped_blocks,
+            "bytes_up": tiers.bytes_up,
+            "bytes_down": tiers.bytes_down,
+            "load_s": round(tiers.load_seconds, 4),
+            "prefetch_s": round(tiers.prefetch_seconds, 4),
+            "demote_s": round(tiers.demote_seconds, 4),
+        }], title="KV tiers: block movement"),
+    ]
+    if tiers.cluster is not None:
+        cluster = dict(tiers.cluster)
+        hits_by_replica = cluster.pop("hits_by_replica", {})
+        cluster.pop("publishes_by_replica", {})
+        sections.append(format_table([cluster], title="Cluster store (L3, fleet-shared)"))
+        if hits_by_replica:
+            sections.append(format_table(
+                [{"replica": name, "cluster_hits": hits}
+                 for name, hits in sorted(hits_by_replica.items())],
+                title="Cluster store hits by replica",
+            ))
     return "\n\n".join(sections)
 
 

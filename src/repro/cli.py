@@ -8,7 +8,8 @@ Subcommands map to the main things a user wants to do without writing code:
 * ``prefillonly compare``   — compare every engine at one offered QPS;
 * ``prefillonly workload``  — print a workload's Table 1 summary;
 * ``prefillonly fleet``     — simulate a multi-replica fleet (routing,
-  admission control, autoscaling) and print the fleet report;
+  admission control, autoscaling, optional ``--tiers`` tiered prefix cache)
+  and print the fleet report;
 * ``prefillonly scenario``  — the scenario engine: ``run`` / ``replay`` a
   config-file scenario (multi-tenant mixes, bursty/diurnal/flash-crowd/
   closed-loop arrivals, trace recording) or list the ``arrivals``.  The
@@ -27,6 +28,7 @@ from repro.analysis.sweep import compare_engines, paper_qps_points, base_through
 from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
+from repro.kvcache.tiers import PROMOTION_POLICIES, TierConfig
 from repro.model.config import MODEL_REGISTRY, get_model
 from repro.hardware.gpu import GPU_REGISTRY
 from repro.simulation.arrival import ARRIVAL_FACTORIES, BurstArrivalProcess, PoissonArrivalProcess
@@ -119,6 +121,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             window_seconds=args.autoscale_window,
             cooldown_seconds=args.autoscale_cooldown,
         )
+    tier_config = None
+    if args.tiers:
+        tier_config = TierConfig(
+            enabled=True,
+            host_gib=args.tier_host_gib,
+            cluster_gib=args.tier_cluster_gib,
+            promotion=args.tier_promotion,
+            prefetch=not args.no_tier_prefetch,
+        )
     fleet = Fleet.for_setup(
         spec, setup,
         max_input_length=trace.max_request_tokens,
@@ -127,6 +138,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         admission=admission,
         autoscaler=autoscaler,
         name=f"{args.engine}x{args.replicas or 'auto'}",
+        tier_config=tier_config,
     )
     if args.qps is None:
         arrivals = BurstArrivalProcess(seed=args.seed)
@@ -227,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-replica arrival rate that triggers scale-up")
     fleet_parser.add_argument("--autoscale-window", type=float, default=30.0)
     fleet_parser.add_argument("--autoscale-cooldown", type=float, default=60.0)
+    fleet_parser.add_argument("--tiers", action="store_true",
+                              help="enable the tiered prefix cache "
+                                   "(GPU -> host -> cluster; see docs/KV_TIERS.md)")
+    fleet_parser.add_argument("--tier-host-gib", type=float, default=4.0,
+                              help="host (L2) tier budget per replica, GiB")
+    fleet_parser.add_argument("--tier-cluster-gib", type=float, default=16.0,
+                              help="fleet-shared cluster (L3) tier budget, GiB")
+    fleet_parser.add_argument("--tier-promotion", default="on-nth-hit",
+                              choices=sorted(PROMOTION_POLICIES),
+                              help="when a lower-tier hit is promoted into GPU memory")
+    fleet_parser.add_argument("--no-tier-prefetch", action="store_true",
+                              help="disable router-hint prefetch into the routed replica")
     fleet_parser.add_argument("--seed", type=int, default=0)
     fleet_parser.set_defaults(func=_cmd_fleet)
 

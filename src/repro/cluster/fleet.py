@@ -33,11 +33,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.engine import EngineInstance, EngineSpec, FinishedRequest
+from repro.core.engine import EngineInstance, EngineSpec, FinishedRequest, kv_block_bytes
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import HardwareSetup
 from repro.hardware.gpu import GPUSpec
 from repro.hardware.interconnect import Interconnect
+from repro.kvcache.manager import CommitPolicy
+from repro.kvcache.tiers import ClusterPrefixStore, TierConfig, build_cluster_store
 from repro.model.config import ModelConfig, get_model
 from repro.simulation.events import EventQueue
 from repro.simulation.routing import Router, UserIdRouter
@@ -105,6 +107,12 @@ class Fleet:
             (heap-based prefix-cache eviction, incremental JCT-calibration
             lookups).  Results are identical; the flag exists for the
             old-vs-new event-loop benchmark.
+        tier_config: Optional tiered prefix-cache configuration
+            (:class:`~repro.kvcache.tiers.TierConfig`).  When enabled the
+            fleet builds one shared cluster (L3) store, wires every replica —
+            including autoscaled clones — into it, warms the routed replica
+            before dispatch (router-hint prefetch), and drains retiring
+            replicas' hot prefixes into the shared store on scale-down.
     """
 
     def __init__(self, replica_specs: list[ReplicaSpec], model: ModelConfig, *,
@@ -114,7 +122,8 @@ class Fleet:
                  autoscaler: Autoscaler | None = None,
                  name: str = "fleet",
                  use_event_queue: bool = True,
-                 engine_fast_paths: bool = True) -> None:
+                 engine_fast_paths: bool = True,
+                 tier_config: TierConfig | None = None) -> None:
         if not replica_specs:
             raise ConfigurationError("a fleet needs at least one replica spec")
         self.name = name
@@ -124,6 +133,21 @@ class Fleet:
         self.admission = admission
         self.autoscaler = autoscaler
         self._engine_fast_paths = engine_fast_paths
+        self.tier_config = tier_config if tier_config is not None and tier_config.enabled else None
+        self.cluster_store: ClusterPrefixStore | None = None
+        if self.tier_config is not None:
+            block_sizes = {spec.engine.kv_block_size for spec in replica_specs}
+            block_bytes = {kv_block_bytes(spec.engine, model) for spec in replica_specs}
+            if len(block_sizes) > 1 or len(block_bytes) > 1:
+                raise ConfigurationError(
+                    "tiering requires a fleet-wide KV block geometry (the shared "
+                    "cluster store keys and sizes blocks by content hash); got "
+                    f"block sizes {sorted(block_sizes)} and "
+                    f"block bytes {sorted(block_bytes)}"
+                )
+            self.cluster_store = build_cluster_store(
+                self.tier_config, block_bytes=kv_block_bytes(self.template.engine, model)
+            )
         self.stats = FleetStats()
         self.scale_events: list[ScaleEvent] = []
         self._shed: list[FinishedRequest] = []
@@ -184,6 +208,8 @@ class Fleet:
             max_input_length=self.max_input_length,
             name=f"{spec.engine.name}-{index}",
             fast_paths=self._engine_fast_paths,
+            tier_config=self.tier_config,
+            cluster_store=self.cluster_store,
         )
         state = _ReplicaState(instance=instance, created_at=now, key=index)
         self._states_by_key[index] = state
@@ -263,6 +289,14 @@ class Fleet:
                 return None
         index = self.router.route(request, depths)
         state = self._active[index]
+        if self.tier_config is not None and self.tier_config.prefetch:
+            # Router-hint prefetch: the routing decision is the hint that the
+            # target replica is about to need this prefix — warm its L1 with
+            # whatever continuation sits in the host/cluster tiers while the
+            # request is still queueing.
+            state.instance.kv.prefetch_tiers(
+                request.block_hashes(state.instance.spec.kv_block_size), now=now
+            )
         state.instance.submit(request, now)
         self.stats.num_routed += 1
         self._observe(state.instance.advance_to(now))
@@ -368,12 +402,27 @@ class Fleet:
         for state in self._draining:
             if state.instance.is_idle():
                 state.retired_at = now
+                self._flush_retiring(state)
                 self._retired.append(state)
                 if self._events is not None:
                     self._events.discard(state.key)
             else:
                 still_draining.append(state)
         self._draining = still_draining
+
+    def _flush_retiring(self, state: _ReplicaState) -> None:
+        """Flush a retiring replica's cached prefixes through its commit policy.
+
+        A replica only retires once idle, so no execution lease can be
+        outstanding (``KVCacheManager.drain`` enforces it).  With tiering the
+        radix tree and host tier publish into the fleet-shared cluster store,
+        where surviving replicas can fetch the prefixes instead of recomputing
+        them; engines whose commit policy does not cache (``NONE``) flush
+        nothing.
+        """
+        if state.instance.spec.commit_policy is CommitPolicy.NONE:
+            return
+        state.instance.kv.drain()
 
     # -------------------------------------------------------------- results
 
@@ -401,13 +450,41 @@ class Fleet:
         stats = []
         for state in self._all_serving() + self._retired:
             cache = state.instance.kv.stats()
-            stats.append({
+            entry = {
                 "instance": state.instance.name,
                 "requests": cache.requests,
                 "request_hit_rate": round(cache.request_hit_rate, 3),
                 "token_hit_rate": round(cache.token_hit_rate, 3),
-            })
+            }
+            if cache.tier_stats is not None:
+                total = max(cache.tokens_total, 1)
+                entry["host_hit_rate"] = round(
+                    cache.tier_stats["tokens_hit_host"] / total, 3
+                )
+                entry["cluster_hit_rate"] = round(
+                    cache.tier_stats["tokens_hit_cluster"] / total, 3
+                )
+            stats.append(entry)
         return stats
+
+    def tier_summary(self):
+        """Aggregate per-tier hit / transfer accounting for the whole run.
+
+        Returns a :class:`~repro.simulation.metrics.TierSummary`, or None when
+        the fleet runs without tiering.
+        """
+        if self.tier_config is None:
+            return None
+        from repro.simulation.metrics import summarize_tiers
+
+        cache_stats = [
+            state.instance.kv.stats()
+            for state in self._all_serving() + self._retired
+        ]
+        cluster_stats = (
+            self.cluster_store.stats if self.cluster_store is not None else None
+        )
+        return summarize_tiers(cache_stats, cluster_stats)
 
     def replica_reports(self, end_time: float) -> list[dict]:
         """Per-replica utilisation / hit-rate rows for fleet summaries.
@@ -421,7 +498,7 @@ class Fleet:
             until = state.retired_at if state.retired_at is not None else end_time
             active_seconds = max(until - state.created_at, 0.0)
             cache = state.instance.kv.stats()
-            reports.append({
+            report = {
                 "replica": state.instance.name,
                 "finished": len(state.instance.finished_requests),
                 "busy_s": round(state.instance.busy_time, 3),
@@ -433,5 +510,10 @@ class Fleet:
                 "request_hit_rate": cache.request_hit_rate,
                 "token_hit_rate": cache.token_hit_rate,
                 "retired": state.retired_at is not None,
-            })
+            }
+            if cache.offload_stats is not None:
+                report["offload_stored"] = cache.offload_stats["stored_blocks"]
+                report["offload_loaded"] = cache.offload_stats["loaded_blocks"]
+                report["offload_evicted"] = cache.offload_stats["evicted_blocks"]
+            reports.append(report)
         return reports

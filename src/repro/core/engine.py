@@ -59,6 +59,10 @@ class EngineSpec:
         cpu_offload_gib: Host-memory budget (GiB) for offloaded KV blocks.  Used
             by the ``SUFFIX_OFFLOAD`` commit policy (the §9 extension of the
             paper: offload instead of discard, LMCache-style).
+        kv_capacity_tokens: Optional cap on the GPU KV-cache budget (tokens).
+            The profile run still decides the real budget; the cap only lowers
+            it, which is how equal-GPU-capacity experiments (e.g. tiering vs
+            suffix discard) hold the L1 size constant.
         description: One-line description for reports.
     """
 
@@ -76,6 +80,7 @@ class EngineSpec:
     use_fitted_jct: bool = False
     kv_block_size: int = 256
     cpu_offload_gib: float = 0.0
+    kv_capacity_tokens: int | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -85,6 +90,8 @@ class EngineSpec:
             raise ConfigurationError("chunk_tokens must be positive")
         if self.kv_block_size <= 0:
             raise ConfigurationError("kv_block_size must be positive")
+        if self.kv_capacity_tokens is not None and self.kv_capacity_tokens < 0:
+            raise ConfigurationError("kv_capacity_tokens must be non-negative")
 
     @property
     def gpus_per_instance(self) -> int:
@@ -124,6 +131,21 @@ def prefillonly_engine_spec(*, fairness_lambda: float = DEFAULT_FAIRNESS_LAMBDA,
         description="PrefillOnly: hybrid prefilling, suffix KV discarding, SRJF with "
                     "continuous JCT calibration",
     )
+
+
+def kv_block_bytes(spec: EngineSpec, model: ModelConfig) -> int:
+    """Bytes of one KV block under ``spec``'s sharding of ``model``.
+
+    The single source of truth for block sizing: engines size their offload /
+    tier stores with it, and the fleet sizes the shared cluster store with it
+    (and asserts that every replica agrees, since the shared store keys
+    blocks by content hash).
+    """
+    return max(int(
+        spec.kv_block_size
+        * model.kv_bytes_per_token
+        / (spec.tensor_parallel * spec.pipeline_parallel)
+    ), 1)
 
 
 @dataclass(frozen=True)
@@ -202,6 +224,13 @@ class EngineInstance:
             incremental JCT-calibration lookup (default).  Behaviour is
             identical either way; ``False`` restores the original full scans
             for before/after benchmarks.
+        tier_config: Optional tiered prefix-cache configuration
+            (:class:`~repro.kvcache.tiers.TierConfig`).  When enabled, the
+            instance runs a GPU -> host -> cluster hierarchy instead of the
+            flat offload store, and the commit policy's suffix overflow
+            demotes down the tiers instead of being discarded.
+        cluster_store: The fleet-shared L3 store (injected by the owning
+            :class:`~repro.cluster.Fleet`); None runs a two-tier hierarchy.
 
     Raises:
         CapacityError: if the profile run shows that a ``max_input_length``-token
@@ -211,7 +240,8 @@ class EngineInstance:
     def __init__(self, spec: EngineSpec, model: ModelConfig, gpu: GPUSpec, *,
                  interconnect: Interconnect | None = None,
                  max_input_length: int, name: str = "instance-0",
-                 fast_paths: bool = True) -> None:
+                 fast_paths: bool = True,
+                 tier_config=None, cluster_store=None) -> None:
         if spec.gpus_per_instance > 1 and interconnect is None:
             raise ConfigurationError(
                 f"engine {spec.name!r} uses {spec.gpus_per_instance} GPUs per instance "
@@ -231,24 +261,49 @@ class EngineInstance:
             tensor_parallel=spec.tensor_parallel,
             pipeline_parallel=spec.pipeline_parallel,
         )
+        kv_bytes_per_block = kv_block_bytes(spec, model)
+        kv_budget_tokens = self.profile.kv_budget_tokens
+        if spec.kv_capacity_tokens is not None:
+            kv_budget_tokens = min(kv_budget_tokens, spec.kv_capacity_tokens)
+
+        tiers = None
         offload_store = None
-        if spec.commit_policy is CommitPolicy.SUFFIX_OFFLOAD and spec.cpu_offload_gib > 0:
+        if tier_config is not None and tier_config.enabled:
+            from repro.kvcache.tiers import build_tiered_store
+
+            # The replica's uncached prefill rate, used to express tier
+            # transfer seconds in compute-token units for JCT scoring.
+            full_pass = self._latency.prefill_time(
+                max_input_length,
+                num_cached_tokens=0,
+                mode=spec.prefill_mode,
+                chunk_tokens=spec.chunk_tokens,
+                tensor_parallel=spec.tensor_parallel,
+                pipeline_parallel=spec.pipeline_parallel,
+            ).total
+            tiers = build_tiered_store(
+                tier_config,
+                replica=name,
+                block_size=spec.kv_block_size,
+                block_bytes=kv_bytes_per_block,
+                cluster=cluster_store,
+                compute_tokens_per_second=(
+                    max_input_length / full_pass if full_pass > 0 else 0.0
+                ),
+            )
+        elif spec.commit_policy is CommitPolicy.SUFFIX_OFFLOAD and spec.cpu_offload_gib > 0:
             from repro.kvcache.offload import CPUOffloadStore
 
-            kv_bytes_per_block = int(
-                spec.kv_block_size
-                * model.kv_bytes_per_token
-                / (spec.tensor_parallel * spec.pipeline_parallel)
-            )
             offload_store = CPUOffloadStore(
                 capacity_bytes=int(spec.cpu_offload_gib * (1 << 30)),
-                block_bytes=max(kv_bytes_per_block, 1),
+                block_bytes=kv_bytes_per_block,
                 link=interconnect if interconnect is not None else PCIE_GEN4,
             )
         self.kv = KVCacheManager(
-            self.profile.kv_budget_tokens,
+            kv_budget_tokens,
             block_size=spec.kv_block_size,
             offload_store=offload_store,
+            tiers=tiers,
             enable_prefix_caching=spec.enable_prefix_caching,
             use_eviction_heap=fast_paths,
         )
@@ -398,12 +453,17 @@ class EngineInstance:
         engine_request.state = RequestState.RUNNING
         engine_request.start_time = now
 
-        # §9 extension: if a CPU offload store is configured, the prefix
-        # continuation that was offloaded earlier can be streamed back instead
-        # of being recomputed; the transfer time is charged to the first stage.
+        # §9 extension: a prefix continuation resident below the GPU — in the
+        # flat offload store or in the host/cluster tiers — can be streamed
+        # back instead of recomputed; the transfer time is charged to the
+        # first stage.
         offloaded_tokens = 0
         offload_load_time = 0.0
-        if self.spec.commit_policy is CommitPolicy.SUFFIX_OFFLOAD:
+        if self.kv.has_tiers:
+            offloaded_tokens, offload_load_time = self.kv.fetch_tiers(
+                engine_request.block_hashes, now=now
+            )
+        elif self.spec.commit_policy is CommitPolicy.SUFFIX_OFFLOAD:
             _, offloaded_tokens, offload_load_time = self.kv.lookup_with_offload(
                 engine_request.block_hashes
             )

@@ -132,14 +132,32 @@ class SRJFScheduler(Scheduler):
         count (and hence the score) is identical to a fresh lookup; only the
         O(queue × prefix-length) rescan the continuous calibration otherwise
         pays on every cache change is gone.
+
+        On a tiered manager the calibration resolves the whole hierarchy
+        (:meth:`~repro.kvcache.manager.KVCacheManager.lookup_with_tiers`):
+        tokens resident in the host or cluster tiers count as cached — they
+        will be streamed, not recomputed — and the modelled transfer time is
+        added back to the score (in seconds for the fitted JCT model, in
+        compute-token equivalents for the paper's cache-miss-token proxy), so
+        a host-resident prefix ranks between a GPU hit and a full miss.
         """
         if not self._continuous:
             cached = request.initial_cached_tokens
             return cached, self._base_score(request.num_tokens, cached)
-        version = kv.cache_version
+        version = kv.calibration_version
         memoised = request.calibration(version)
         if memoised is not None:
             return memoised
+        if kv.has_tiers:
+            lookup = kv.lookup_with_tiers(request.block_hashes)
+            cached = lookup.total_tokens
+            score = self._base_score(request.num_tokens, cached)
+            if self._estimator is None:
+                score += lookup.penalty_tokens
+            else:
+                score += lookup.load_seconds
+            request.store_calibration(version, cached, score)
+            return cached, score
         stale = request.last_calibration() if self._incremental else None
         if stale is not None:
             cached = kv.lookup_from(request.block_hashes, stale[1] // kv.block_size)

@@ -80,3 +80,40 @@ class UnknownWorkloadError(UnknownNameError, WorkloadError):
 
 class ScenarioError(ReproError):
     """A scenario configuration is invalid, or a trace file is malformed."""
+
+
+class TierError(ReproError):
+    """A tiered prefix-cache configuration or operation is invalid."""
+
+
+class UnknownTierError(UnknownNameError, TierError):
+    """A tier configuration referenced a tier name that does not exist.
+
+    Subclasses :class:`TierError` as well, so ``except TierError`` handlers
+    catch configuration typos alongside capacity problems.
+
+    Attributes:
+        path: Dotted JSON path of the offending key (``"kv_tiers.tiers.hots"``),
+            so scenario-config errors point at the exact config location.
+    """
+
+    def __init__(self, name: str, available: list[str] | tuple[str, ...], *,
+                 path: str = "kv_tiers.tiers") -> None:
+        self.path = path
+        super().__init__("tier", name, available)
+        # UnknownNameError fixes args in __init__; re-raise with the path prefixed.
+        self.args = (f"{path}: {self.args[0]}",)
+
+
+class TierCapacityError(TierError):
+    """A tier was configured with an invalid capacity.
+
+    Attributes:
+        tier: The tier the capacity belongs to (``"host"``, ``"cluster"``).
+        path: Dotted JSON path of the offending config value.
+    """
+
+    def __init__(self, message: str, *, tier: str, path: str = "kv_tiers") -> None:
+        self.tier = tier
+        self.path = path
+        super().__init__(f"{path}: {message}")

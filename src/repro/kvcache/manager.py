@@ -23,11 +23,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.errors import AllocationError, CapacityError
+from repro.errors import AllocationError, CapacityError, TierError
 from repro.kvcache.allocator import BlockAllocator
 from repro.kvcache.block import Block, count_blocks
 from repro.kvcache.offload import CPUOffloadStore
 from repro.kvcache.prefix_tree import PrefixMatch, RadixPrefixCache
+from repro.kvcache.tiers.store import TieredPrefixStore, TierLookup
 
 
 class CommitPolicy(enum.Enum):
@@ -71,6 +72,11 @@ class CacheStats:
     tokens_hit: int
     block_stats: dict
     offload_stats: dict | None
+    #: Per-tier counters when the manager runs a tiered hierarchy, else None.
+    #: Carries the :class:`~repro.kvcache.tiers.store.TierStats` fields plus
+    #: ``tokens_hit_host`` / ``tokens_hit_cluster`` (tokens served from below
+    #: L1 instead of being recomputed).
+    tier_stats: dict | None = None
 
     @property
     def request_hit_rate(self) -> float:
@@ -94,21 +100,38 @@ class KVCacheManager:
 
     def __init__(self, capacity_tokens: int, *, block_size: int = 256,
                  offload_store: CPUOffloadStore | None = None,
+                 tiers: TieredPrefixStore | None = None,
                  enable_prefix_caching: bool = True,
                  use_eviction_heap: bool = True) -> None:
         if capacity_tokens < 0:
             raise CapacityError("capacity_tokens must be non-negative")
+        if tiers is not None and offload_store is not None:
+            raise TierError(
+                "a tiered manager owns its host store through the tier "
+                "hierarchy; pass either `tiers` or `offload_store`, not both"
+            )
+        if tiers is not None and tiers.block_size != block_size:
+            raise TierError(
+                f"tiered store uses {tiers.block_size}-token blocks but the "
+                f"manager uses {block_size}-token blocks"
+            )
         self._block_size = block_size
         self._capacity_tokens = capacity_tokens
         num_blocks = capacity_tokens // block_size
         self._allocator = BlockAllocator(num_blocks, block_size)
         self._cache = RadixPrefixCache(self._allocator, use_eviction_heap=use_eviction_heap)
         self._offload = offload_store
+        self._tiers = tiers
+        if tiers is not None:
+            tiers.bind_gpu_cache(self._cache)
         self._enable_prefix_caching = enable_prefix_caching
         self._requests = 0
         self._requests_with_hit = 0
         self._tokens_total = 0
         self._tokens_hit = 0
+        self._tokens_hit_host = 0
+        self._tokens_hit_cluster = 0
+        self._active_leases = 0
 
     # ---------------------------------------------------------------- state
 
@@ -145,8 +168,42 @@ class KVCacheManager:
     def prefix_caching_enabled(self) -> bool:
         return self._enable_prefix_caching
 
+    @property
+    def tiers(self) -> TieredPrefixStore | None:
+        """The tiered hierarchy this manager runs, or None."""
+        return self._tiers
+
+    @property
+    def has_tiers(self) -> bool:
+        return self._tiers is not None
+
+    @property
+    def calibration_version(self):
+        """Version key the scheduler memoises JCT calibrations against.
+
+        Equals :attr:`cache_version` for a plain manager; a tiered manager
+        folds in the tier version (including the shared cluster store's), so
+        a peer replica's publish invalidates stale calibrations here too.
+        """
+        if self._tiers is None:
+            return self._cache.version
+        return (self._cache.version, self._tiers.version)
+
+    @property
+    def num_active_leases(self) -> int:
+        """Execution leases currently outstanding (begin minus finish)."""
+        return self._active_leases
+
     def stats(self) -> CacheStats:
         """Return aggregate hit-rate statistics."""
+        tier_stats = None
+        if self._tiers is not None:
+            tier_stats = dict(self._tiers.stats.__dict__)
+            tier_stats["tokens_hit_host"] = self._tokens_hit_host
+            tier_stats["tokens_hit_cluster"] = self._tokens_hit_cluster
+        offload = self._offload
+        if offload is None and self._tiers is not None:
+            offload = self._tiers.host
         return CacheStats(
             requests=self._requests,
             requests_with_hit=self._requests_with_hit,
@@ -154,8 +211,9 @@ class KVCacheManager:
             tokens_hit=self._tokens_hit,
             block_stats=dict(self._cache.stats),
             offload_stats=(
-                self._offload.stats.__dict__ if self._offload is not None else None
+                offload.stats.__dict__ if offload is not None else None
             ),
+            tier_stats=tier_stats,
         )
 
     # --------------------------------------------------------------- lookup
@@ -216,6 +274,81 @@ class KVCacheManager:
         offloaded_blocks, load_seconds = self._offload.load(continuation)
         return gpu_tokens, offloaded_blocks * self._block_size, load_seconds
 
+    # ----------------------------------------------------------------- tiers
+
+    def lookup_with_tiers(self, block_hashes: Sequence[int]) -> TierLookup:
+        """Resolve a request's prefix against every tier, read-only.
+
+        This is the tier-aware counterpart of :meth:`lookup`: the scheduler's
+        continuous JCT calibration uses it to credit waiting requests for
+        prefixes resident in the host or cluster tiers (discounted by the
+        modelled transfer time), without perturbing LRU state or hit counts.
+        """
+        if self._tiers is None or not self._enable_prefix_caching:
+            gpu_tokens = self.lookup(block_hashes)
+            return TierLookup(gpu_tokens=gpu_tokens, host_tokens=0,
+                              cluster_tokens=0, load_seconds=0.0,
+                              penalty_tokens=0.0)
+        gpu_blocks = self._cache.match_length(block_hashes)
+        return self._tiers.lookup(block_hashes, gpu_blocks)
+
+    def fetch_tiers(self, block_hashes: Sequence[int], *, now: float = 0.0) -> tuple[int, float]:
+        """Stream the tier-resident continuation up for execution.
+
+        Returns ``(tier_tokens, load_seconds)``: tokens that need no
+        recompute because they came from the host/cluster tiers, and the
+        transfer time to charge the request's first stage.  Applies the
+        promotion policy as a side effect (see
+        :meth:`~repro.kvcache.tiers.store.TieredPrefixStore.fetch`).
+        """
+        if self._tiers is None or not self._enable_prefix_caching:
+            return 0, 0.0
+        gpu_blocks = self._cache.match_length(block_hashes)
+        lookup = self._tiers.fetch(block_hashes, gpu_blocks, now=now)
+        self._tokens_hit_host += lookup.host_tokens
+        self._tokens_hit_cluster += lookup.cluster_tokens
+        return lookup.tier_tokens, lookup.load_seconds
+
+    def prefetch_tiers(self, block_hashes: Sequence[int], *, now: float = 0.0) -> int:
+        """Warm L1 with the request's tier-resident continuation (router hint).
+
+        Returns the number of tokens promoted.  No cost is charged to any
+        request — the transfer overlaps with queueing and is accounted in the
+        tier stats.
+        """
+        if self._tiers is None or not self._enable_prefix_caching:
+            return 0
+        gpu_blocks = self._cache.match_length(block_hashes)
+        return self._tiers.prefetch(block_hashes, gpu_blocks, now=now)
+
+    def drain(self) -> int:
+        """Flush the cached hierarchy downward (replica retirement).
+
+        With tiering, the radix tree's resident prefixes and the host tier's
+        contents publish into the fleet-shared cluster store, so a scale-down
+        hands this replica's hot prefixes to the surviving fleet instead of
+        discarding them.  Without tiering but with a flat offload store (the
+        ``SUFFIX_OFFLOAD`` commit policy), the radix tree flushes into that
+        store — same commit semantics the policy applies per request, applied
+        once more at retirement.  Returns the number of blocks flushed.
+
+        Raises:
+            TierError: if any execution lease is still outstanding — draining
+                a replica with in-flight work would orphan its leases.
+        """
+        if self._active_leases > 0:
+            raise TierError(
+                f"cannot drain: {self._active_leases} execution lease(s) still active"
+            )
+        if self._tiers is not None:
+            return self._tiers.drain(self._cache.resident_hashes())
+        if self._offload is not None:
+            hashes = self._cache.resident_hashes()
+            new_hashes = [h for h in hashes if h not in self._offload]
+            self._offload.store(hashes)
+            return sum(1 for h in new_hashes if h in self._offload)
+        return 0
+
     # ------------------------------------------------------------ execution
 
     def begin_execution(self, block_hashes: Sequence[int], num_tokens: int, *,
@@ -251,6 +384,7 @@ class KVCacheManager:
         )
         if not reserve_full_kv:
             self._record_request(num_tokens, match.num_tokens)
+            self._active_leases += 1
             return lease
 
         uncached_tokens = max(num_tokens - match.num_tokens, 0)
@@ -270,6 +404,7 @@ class KVCacheManager:
             ) from exc
         lease.scratch_blocks = scratch
         self._record_request(num_tokens, match.num_tokens)
+        self._active_leases += 1
         return lease
 
     def _allocate_scratch(self, now: float) -> Block:
@@ -299,9 +434,17 @@ class KVCacheManager:
         if lease.scratch_blocks:
             self._allocator.free_many(lease.scratch_blocks)
             lease.scratch_blocks = []
+        self._active_leases = max(self._active_leases - 1, 0)
 
         if not self._enable_prefix_caching or policy is CommitPolicy.NONE:
             return 0
+
+        if self._tiers is not None:
+            # Tiered commit: promotion policy decides whether tier-resident
+            # blocks re-enter L1, and the suffix that does not fit demotes
+            # down the hierarchy instead of being discarded.
+            resident_blocks = self._tiers.commit(lease.block_hashes, now=now)
+            return resident_blocks * self._block_size
 
         resident_blocks = self._cache.insert(
             lease.block_hashes, block_size=self._block_size, now=now, allow_eviction=True
@@ -319,3 +462,5 @@ class KVCacheManager:
         self._cache.clear()
         if self._offload is not None:
             self._offload.clear()
+        if self._tiers is not None:
+            self._tiers.clear()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.hardware.interconnect import Interconnect, PCIE_GEN4
 
@@ -51,6 +51,10 @@ class CPUOffloadStore:
         self._stored = 0
         self._loaded = 0
         self._evicted = 0
+        #: Optional hook fired with each evicted content hash.  The tiered
+        #: prefix store uses it to demote host evictions into the
+        #: cluster-shared tier instead of dropping them.
+        self.on_evict: Callable[[int], None] | None = None
 
     @property
     def capacity_blocks(self) -> int:
@@ -88,8 +92,10 @@ class CPUOffloadStore:
                 self._blocks.move_to_end(content_hash)
                 continue
             while len(self._blocks) >= max(self.capacity_blocks, 0) and self._blocks:
-                self._blocks.popitem(last=False)
+                victim, _ = self._blocks.popitem(last=False)
                 self._evicted += 1
+                if self.on_evict is not None:
+                    self.on_evict(victim)
             if self.capacity_blocks == 0:
                 break
             self._blocks[content_hash] = self._block_bytes
@@ -116,6 +122,22 @@ class CPUOffloadStore:
                 break
             count += 1
         return count
+
+    def discard(self, content_hash: int) -> bool:
+        """Drop one stored block (no eviction hook); return whether it existed.
+
+        Used by the tiered store when a block is promoted into the GPU tier,
+        so it is never resident in two tiers at once.
+        """
+        return self._blocks.pop(content_hash, None) is not None
+
+    def resident_hashes(self) -> list[int]:
+        """Stored content hashes in LRU order (oldest first)."""
+        return list(self._blocks)
+
+    def transfer_time(self, num_blocks: int) -> float:
+        """Modelled seconds to move ``num_blocks`` over the store's link."""
+        return self._transfer_time(num_blocks)
 
     def _transfer_time(self, num_blocks: int) -> float:
         if num_blocks == 0:

@@ -89,6 +89,11 @@ class RadixPrefixCache:
         self._misses = 0
         self._insertions = 0
         self._evictions = 0
+        #: Optional hook fired as ``on_evict(content_hash, num_tokens)`` for
+        #: every evicted block.  Purely observational — victim selection and
+        #: eviction order are identical with or without it; the tiered prefix
+        #: store uses it to demote GPU evictions into the host tier.
+        self.on_evict = None
 
     def _note_candidate(self, node: _TreeNode) -> None:
         """Push a fresh LRU-heap entry for ``node`` at its current timestamp."""
@@ -163,6 +168,17 @@ class RadixPrefixCache:
                 break
             count += 1
         return count
+
+    def resident_hashes(self) -> list[int]:
+        """Every cached content hash, parents before children.
+
+        Because only leaves are ever evicted, the resident set is
+        prefix-closed per chain and the node dict's insertion order always
+        lists a block's ancestors before the block itself — so feeding this
+        list to a flat prefix store (e.g. the cluster tier on scale-down
+        drain) preserves matchability of every cached prefix.
+        """
+        return list(self._nodes)
 
     # ------------------------------------------------------------- insertion
 
@@ -319,6 +335,8 @@ class RadixPrefixCache:
         self._allocator.free(node.block)
         self._evictions += 1
         self._version += 1
+        if self.on_evict is not None:
+            self.on_evict(node.content_hash, node.block.num_tokens)
 
     # --------------------------------------------------------------- pinning
 

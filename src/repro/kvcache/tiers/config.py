@@ -1,0 +1,160 @@
+"""Configuration of the tiered prefix-cache subsystem.
+
+A :class:`TierConfig` describes the whole hierarchy for one replica: whether
+tiering is on at all, how big the host (L2) and cluster-shared (L3) tiers are,
+which interconnects their transfers are charged through, and the promotion /
+demotion / prefetch policies that move blocks between tiers.  The scenario
+engine parses it from a ``"kv_tiers"`` JSON block via
+:func:`tier_config_from_dict`; the CLI builds it from ``--tier-*`` flags; both
+end up with the same frozen dataclass, which the :class:`~repro.cluster.Fleet`
+hands to every replica it builds.
+
+Config block shape (JSON)::
+
+    "kv_tiers": {
+      "enabled": true,
+      "tiers": {
+        "host":    {"capacity_gib": 4.0,  "link": "pcie-gen4"},
+        "cluster": {"capacity_gib": 16.0, "link": "nvlink"}
+      },
+      "promotion": "on-nth-hit",          // always | on-nth-hit | never
+      "promotion_threshold": 2,           // N of promote-on-Nth-hit
+      "demote_on_evict": true,            // evictions cascade down instead of dropping
+      "prefetch": true                    // router-hint prefetch before dispatch
+    }
+
+Unknown tier names fail with :class:`~repro.errors.UnknownTierError` (the
+message lists the valid tier names and the JSON path of the typo); invalid
+capacities fail with :class:`~repro.errors.TierCapacityError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TierCapacityError, TierError, UnknownTierError
+from repro.kvcache.tiers.policy import PROMOTION_POLICIES
+
+#: The tiers a config block may size.  ``gpu`` (L1) is sized by the engine's
+#: profile run, not by config, so it is deliberately absent here.
+TIER_NAMES = ("host", "cluster")
+
+_TIER_ENTRY_KEYS = {"capacity_gib", "link"}
+_CONFIG_KEYS = {
+    "enabled", "tiers", "promotion", "promotion_threshold",
+    "demote_on_evict", "prefetch",
+}
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Everything the tiered prefix cache needs to stand itself up.
+
+    Attributes:
+        enabled: Master switch.  When False every tier code path is skipped
+            and results are byte-identical to a build without tiering.
+        host_gib: Host-memory budget (GiB) of the per-replica L2 store.
+            ``0`` disables L2.
+        cluster_gib: Byte budget (GiB) of the fleet-shared L3 store.
+            ``0`` disables L3.
+        host_link: Interconnect name charged for GPU <-> host transfers.
+        cluster_link: Interconnect name charged for replica <-> cluster-store
+            transfers (peer fetch).
+        promotion: Promotion policy name (see
+            :mod:`repro.kvcache.tiers.policy`).
+        promotion_threshold: The N of ``on-nth-hit``.
+        demote_on_evict: When True, L1 evictions demote into L2 and L2
+            evictions demote into L3 instead of dropping the block.
+        prefetch: When True, the fleet warms the routed replica's L1 with the
+            request's tier-resident continuation before dispatch.
+    """
+
+    enabled: bool = False
+    host_gib: float = 4.0
+    cluster_gib: float = 16.0
+    host_link: str = "pcie-gen4"
+    cluster_link: str = "nvlink"
+    promotion: str = "on-nth-hit"
+    promotion_threshold: int = 2
+    demote_on_evict: bool = True
+    prefetch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.host_gib < 0:
+            raise TierCapacityError(
+                f"host capacity_gib must be non-negative, got {self.host_gib}",
+                tier="host", path="kv_tiers.tiers.host.capacity_gib",
+            )
+        if self.cluster_gib < 0:
+            raise TierCapacityError(
+                f"cluster capacity_gib must be non-negative, got {self.cluster_gib}",
+                tier="cluster", path="kv_tiers.tiers.cluster.capacity_gib",
+            )
+        if self.promotion not in PROMOTION_POLICIES:
+            known = ", ".join(sorted(PROMOTION_POLICIES))
+            raise TierError(
+                f"kv_tiers.promotion: unknown promotion policy "
+                f"{self.promotion!r}; available: {known}"
+            )
+        if self.promotion_threshold < 1:
+            raise TierError(
+                "kv_tiers.promotion_threshold must be >= 1, "
+                f"got {self.promotion_threshold}"
+            )
+
+
+def tier_config_from_dict(config: dict, *, path: str = "kv_tiers") -> TierConfig:
+    """Parse a ``"kv_tiers"`` JSON block into a :class:`TierConfig`.
+
+    Args:
+        config: The decoded JSON object.
+        path: Dotted path of the block inside the surrounding document, used
+            to point error messages at the offending key.
+
+    Raises:
+        UnknownTierError: if ``tiers`` names a tier that does not exist (the
+            message lists the valid names).
+        TierCapacityError: if a capacity is negative or not a number.
+        TierError: on any other malformed key or value.
+    """
+    if not isinstance(config, dict):
+        raise TierError(f"{path}: expected a JSON object, got {type(config).__name__}")
+    unknown = set(config) - _CONFIG_KEYS
+    if unknown:
+        raise TierError(f"{path}: unknown keys {sorted(unknown)}")
+
+    kwargs: dict = {"enabled": bool(config.get("enabled", False))}
+    tiers = config.get("tiers", {})
+    if not isinstance(tiers, dict):
+        raise TierError(f"{path}.tiers: expected a JSON object")
+    for tier_name, entry in tiers.items():
+        if tier_name not in TIER_NAMES:
+            raise UnknownTierError(tier_name, TIER_NAMES, path=f"{path}.tiers")
+        if not isinstance(entry, dict):
+            raise TierError(f"{path}.tiers.{tier_name}: expected a JSON object")
+        unknown = set(entry) - _TIER_ENTRY_KEYS
+        if unknown:
+            raise TierError(
+                f"{path}.tiers.{tier_name}: unknown keys {sorted(unknown)}"
+            )
+        if "capacity_gib" in entry:
+            capacity = entry["capacity_gib"]
+            if not isinstance(capacity, (int, float)) or isinstance(capacity, bool):
+                raise TierCapacityError(
+                    f"capacity_gib must be a number, got {capacity!r}",
+                    tier=tier_name, path=f"{path}.tiers.{tier_name}.capacity_gib",
+                )
+            kwargs[f"{tier_name}_gib"] = float(capacity)
+        if "link" in entry:
+            kwargs[f"{tier_name}_link"] = str(entry["link"])
+    for key in ("promotion", "demote_on_evict", "prefetch"):
+        if key in config:
+            kwargs[key] = config[key]
+    if "promotion_threshold" in config:
+        threshold = config["promotion_threshold"]
+        if not isinstance(threshold, int) or isinstance(threshold, bool):
+            raise TierError(
+                f"{path}.promotion_threshold: expected an integer, got {threshold!r}"
+            )
+        kwargs["promotion_threshold"] = threshold
+    return TierConfig(**kwargs)

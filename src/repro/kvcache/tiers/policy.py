@@ -1,0 +1,104 @@
+"""Promotion policies of the tiered prefix cache.
+
+A lower-tier hit always streams the block to the GPU for the forward pass (the
+transfer is charged either way); the *promotion* question is whether the block
+is also installed in the L1 radix tree afterwards, where it serves future hits
+at zero transfer cost but occupies scarce GPU blocks.  The policy sees how
+often each block has hit in a lower tier and votes:
+
+* :class:`AlwaysPromote` — every lower-tier hit installs the block in L1
+  (aggressive; right when GPU capacity is plentiful);
+* :class:`PromoteOnNthHit` — a block earns its GPU residency by hitting N
+  times in a lower tier first (filters one-off suffixes out of L1, the
+  classic "cache on second touch" rule);
+* :class:`NeverPromote` — lower tiers serve hits forever, L1 is fed only by
+  the commit path (right when GPU capacity is tiny and churn is expensive).
+
+Policies are stateless beyond the hit counts the stores already keep, so one
+policy instance may be shared by every replica of a fleet.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import UnknownNameError
+
+
+class PromotionPolicy(abc.ABC):
+    """Decides whether a lower-tier hit should install the block in L1."""
+
+    name: str = "promotion-policy"
+
+    @abc.abstractmethod
+    def should_promote(self, content_hash: int, hits: int) -> bool:
+        """Vote on promoting one block.
+
+        Args:
+            content_hash: Chained content hash of the block.
+            hits: How many times the block has hit in lower tiers so far,
+                *including* the hit being decided.
+        """
+
+
+class AlwaysPromote(PromotionPolicy):
+    """Promote on the first lower-tier hit."""
+
+    name = "always"
+
+    def should_promote(self, content_hash: int, hits: int) -> bool:
+        return True
+
+
+class NeverPromote(PromotionPolicy):
+    """Serve hits from lower tiers forever; never install in L1."""
+
+    name = "never"
+
+    def should_promote(self, content_hash: int, hits: int) -> bool:
+        return False
+
+
+class PromoteOnNthHit(PromotionPolicy):
+    """Promote once a block has hit ``n`` times in lower tiers.
+
+    Args:
+        n: Hits required before promotion (``1`` behaves like
+            :class:`AlwaysPromote`).
+    """
+
+    name = "on-nth-hit"
+
+    def __init__(self, n: int = 2) -> None:
+        if n < 1:
+            raise ValueError("promotion threshold must be >= 1")
+        self.n = n
+
+    def should_promote(self, content_hash: int, hits: int) -> bool:
+        return hits >= self.n
+
+
+#: Registry of promotion-policy factories by config name.
+PROMOTION_POLICIES = {
+    "always": AlwaysPromote,
+    "never": NeverPromote,
+    "on-nth-hit": PromoteOnNthHit,
+}
+
+
+def make_promotion_policy(name: str, *, threshold: int = 2) -> PromotionPolicy:
+    """Build a promotion policy by registry name.
+
+    Args:
+        name: ``"always"``, ``"never"``, or ``"on-nth-hit"``.
+        threshold: The N of ``on-nth-hit`` (ignored by the others).
+    """
+    try:
+        factory = PROMOTION_POLICIES[name]
+    except KeyError:
+        raise UnknownNameError(
+            "promotion policy", name, tuple(PROMOTION_POLICIES)
+        ) from None
+    if factory is PromoteOnNthHit:
+        return PromoteOnNthHit(threshold)
+    return factory()

@@ -52,8 +52,10 @@ from repro.simulation.routing import (
 from repro.simulation.metrics import (
     FleetSummary,
     LatencySummary,
+    TierSummary,
     summarize_finished,
     summarize_fleet,
+    summarize_tiers,
 )
 from repro.simulation.scenario import (
     ScenarioResult,
@@ -92,8 +94,10 @@ __all__ = [
     "make_router",
     "LatencySummary",
     "FleetSummary",
+    "TierSummary",
     "summarize_finished",
     "summarize_fleet",
+    "summarize_tiers",
     "ServingSystem",
     "SimulationResult",
     "FleetSimulationResult",

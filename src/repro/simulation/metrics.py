@@ -112,6 +112,121 @@ def summarize_finished(finished: list[FinishedRequest],
 
 
 @dataclass(frozen=True)
+class TierSummary:
+    """Per-tier hit and transfer accounting of one tiered run.
+
+    Token counts classify every prefix token a request brought to execution:
+    served from the GPU radix tree (free), streamed from the host tier
+    (charged through the host link), streamed from the cluster-shared tier
+    (charged through the cluster link), or recomputed (a miss everywhere).
+
+    Attributes:
+        tokens_total: All input tokens across all requests.
+        tokens_hit_gpu: Tokens served from L1.
+        tokens_hit_host: Tokens streamed from the host (L2) tier.
+        tokens_hit_cluster: Tokens streamed from the cluster (L3) tier.
+        promoted_blocks / demoted_blocks / prefetched_blocks / dropped_blocks:
+            Block movement between tiers, summed over replicas.
+        bytes_up / bytes_down: Transfer volume toward / away from the GPU.
+        load_seconds: Transfer time charged to requests (fetch at execution).
+        prefetch_seconds / demote_seconds: Background transfer time (not
+            charged to any request; overlaps queueing / compute).
+        cluster: ``ClusterStoreStats`` fields of the shared store (publishes,
+            fetches, peer fetches, per-replica hits), or None without an L3.
+    """
+
+    tokens_total: int
+    tokens_hit_gpu: int
+    tokens_hit_host: int
+    tokens_hit_cluster: int
+    promoted_blocks: int
+    demoted_blocks: int
+    prefetched_blocks: int
+    dropped_blocks: int
+    bytes_up: int
+    bytes_down: int
+    load_seconds: float
+    prefetch_seconds: float
+    demote_seconds: float
+    cluster: dict | None = None
+
+    def _rate(self, tokens: int) -> float:
+        return tokens / self.tokens_total if self.tokens_total else 0.0
+
+    @property
+    def gpu_hit_rate(self) -> float:
+        return self._rate(self.tokens_hit_gpu)
+
+    @property
+    def host_hit_rate(self) -> float:
+        return self._rate(self.tokens_hit_host)
+
+    @property
+    def cluster_hit_rate(self) -> float:
+        return self._rate(self.tokens_hit_cluster)
+
+    @property
+    def tier_hit_rate(self) -> float:
+        """Fraction of tokens served anywhere in the hierarchy."""
+        return self._rate(
+            self.tokens_hit_gpu + self.tokens_hit_host + self.tokens_hit_cluster
+        )
+
+    def as_dict(self) -> dict:
+        """Scalar view for report tables."""
+        return {
+            "gpu_hit_rate": round(self.gpu_hit_rate, 3),
+            "host_hit_rate": round(self.host_hit_rate, 3),
+            "cluster_hit_rate": round(self.cluster_hit_rate, 3),
+            "tier_hit_rate": round(self.tier_hit_rate, 3),
+            "promoted_blocks": self.promoted_blocks,
+            "demoted_blocks": self.demoted_blocks,
+            "prefetched_blocks": self.prefetched_blocks,
+            "dropped_blocks": self.dropped_blocks,
+            "bytes_up": self.bytes_up,
+            "bytes_down": self.bytes_down,
+            "load_s": round(self.load_seconds, 4),
+        }
+
+
+def summarize_tiers(cache_stats: list, cluster_stats=None) -> TierSummary:
+    """Aggregate per-replica tier counters into one :class:`TierSummary`.
+
+    Args:
+        cache_stats: One :class:`~repro.kvcache.manager.CacheStats` per
+            replica (replicas without tier stats contribute only their token
+            totals).
+        cluster_stats: The shared store's
+            :class:`~repro.kvcache.tiers.cluster_store.ClusterStoreStats`,
+            or None when the fleet runs without an L3.
+    """
+    totals = {
+        "promoted_blocks": 0, "demoted_blocks": 0, "prefetched_blocks": 0,
+        "dropped_blocks": 0, "bytes_up": 0, "bytes_down": 0,
+        "load_seconds": 0.0, "prefetch_seconds": 0.0, "demote_seconds": 0.0,
+    }
+    tokens_total = tokens_gpu = tokens_host = tokens_cluster = 0
+    for stats in cache_stats:
+        tokens_total += stats.tokens_total
+        tokens_gpu += stats.tokens_hit
+        tier = stats.tier_stats
+        if tier is None:
+            continue
+        tokens_host += tier.get("tokens_hit_host", 0)
+        tokens_cluster += tier.get("tokens_hit_cluster", 0)
+        for key in totals:
+            totals[key] += tier.get(key, 0)
+    return TierSummary(
+        tokens_total=tokens_total,
+        tokens_hit_gpu=tokens_gpu,
+        tokens_hit_host=tokens_host,
+        tokens_hit_cluster=tokens_cluster,
+        cluster=dict(cluster_stats.__dict__) if cluster_stats is not None else None,
+        **totals,
+    )
+
+
+@dataclass(frozen=True)
 class FleetSummary:
     """Cluster-level statistics of one fleet simulation run.
 
@@ -128,6 +243,11 @@ class FleetSummary:
             paper's routing argument predicts this stays low under user-id
             routing because each user's prefix lives on exactly one replica.
         scale_events: ``ScaleEvent.as_dict()`` rows, in time order.
+        offload: Aggregate CPU-offload-store counters (blocks stored / loaded
+            / evicted across all replicas), or None when no replica ran an
+            offload store — so default runs are unchanged.
+        tiers: The run's :class:`TierSummary` when tiering was enabled,
+            else None.
     """
 
     num_replicas: int
@@ -140,10 +260,16 @@ class FleetSummary:
     token_hit_rate_per_replica: dict[str, float]
     cache_hit_variance: float
     scale_events: tuple[dict, ...] = ()
+    offload: dict | None = None
+    tiers: TierSummary | None = None
 
     def as_dict(self) -> dict:
-        """Plain-dict view (scalar fields only) for report tables."""
-        return {
+        """Plain-dict view (scalar fields only) for report tables.
+
+        Offload and tier columns appear only when the run produced them, so
+        reports for untouched configurations stay byte-identical.
+        """
+        row = {
             "num_replicas": self.num_replicas,
             "peak_replicas": self.peak_replicas,
             "num_scale_ups": self.num_scale_ups,
@@ -152,22 +278,33 @@ class FleetSummary:
             "mean_utilization": round(self.mean_utilization, 3),
             "cache_hit_variance": round(self.cache_hit_variance, 5),
         }
+        if self.offload is not None:
+            row["offload_stored"] = self.offload["stored_blocks"]
+            row["offload_loaded"] = self.offload["loaded_blocks"]
+            row["offload_evicted"] = self.offload["evicted_blocks"]
+        if self.tiers is not None:
+            row["tier_hit_rate"] = round(self.tiers.tier_hit_rate, 3)
+        return row
 
 
 def summarize_fleet(replica_reports: list[dict], *,
                     scale_events: tuple[dict, ...] = (),
                     num_scale_ups: int = 0, num_scale_downs: int = 0,
                     num_shed: int = 0, num_replicas: int = 0,
-                    peak_replicas: int = 0) -> FleetSummary:
+                    peak_replicas: int = 0,
+                    tiers: TierSummary | None = None) -> FleetSummary:
     """Summarise per-replica report rows into a :class:`FleetSummary`.
 
     Args:
         replica_reports: Rows as produced by
             :meth:`repro.cluster.fleet.Fleet.replica_reports` (one per replica
-            the fleet ever ran, including retired ones).
+            the fleet ever ran, including retired ones).  Rows carrying
+            ``offload_stored`` / ``offload_loaded`` / ``offload_evicted``
+            counters aggregate into the summary's ``offload`` view.
         scale_events: Scale-event dict rows in time order.
         num_scale_ups / num_scale_downs / num_shed: Fleet counters.
         num_replicas / peak_replicas: Final and peak routable replica counts.
+        tiers: Optional tier accounting for the run.
     """
     utilization = {
         report["replica"]: float(report["utilization"]) for report in replica_reports
@@ -179,6 +316,14 @@ def summarize_fleet(replica_reports: list[dict], *,
         float(report["token_hit_rate"])
         for report in replica_reports if report.get("finished", 0) > 0
     ]
+    offload_rows = [r for r in replica_reports if "offload_stored" in r]
+    offload = None
+    if offload_rows:
+        offload = {
+            "stored_blocks": sum(r["offload_stored"] for r in offload_rows),
+            "loaded_blocks": sum(r["offload_loaded"] for r in offload_rows),
+            "evicted_blocks": sum(r["offload_evicted"] for r in offload_rows),
+        }
     return FleetSummary(
         num_replicas=num_replicas,
         peak_replicas=peak_replicas,
@@ -194,6 +339,8 @@ def summarize_fleet(replica_reports: list[dict], *,
             float(np.var(serving_hit_rates)) if serving_hit_rates else 0.0
         ),
         scale_events=tuple(scale_events),
+        offload=offload,
+        tiers=tiers,
     )
 
 

@@ -23,6 +23,11 @@ Config file shape (JSON)::
         "scale_up_rps_per_replica": 2.0,
         "window_seconds": 30.0, "cooldown_seconds": 60.0
       },
+      "kv_tiers": {                     // optional tiered prefix cache
+        "enabled": true,                // (see docs/KV_TIERS.md)
+        "tiers": {"host": {"capacity_gib": 4.0},
+                   "cluster": {"capacity_gib": 16.0}}
+      },
       "seed": 0,
       "tenants": [
         {
@@ -56,6 +61,7 @@ from repro.baselines.registry import get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.errors import ScenarioError
 from repro.hardware.cluster import get_hardware_setup
+from repro.kvcache.tiers import TierConfig, tier_config_from_dict
 from repro.simulation.arrival import make_arrival
 from repro.simulation.metrics import LatencySummary, summarize_finished
 from repro.simulation.routing import make_router
@@ -81,7 +87,7 @@ _TENANT_KEYS = {
 }
 _SCENARIO_KEYS = {
     "name", "engine", "setup", "replicas", "router", "max_queue_depth",
-    "autoscale", "seed", "max_input_length", "tenants",
+    "autoscale", "seed", "max_input_length", "tenants", "kv_tiers",
 }
 _AUTOSCALE_KEYS = {
     "min_replicas", "max_replicas", "scale_up_rps_per_replica",
@@ -103,6 +109,10 @@ class ScenarioSpec:
     autoscale: dict | None = None
     seed: int = 0
     max_input_length: int | None = None
+    #: Tiered prefix-cache configuration, parsed from the ``"kv_tiers"``
+    #: config block (None or ``enabled: false`` runs without tiering, with
+    #: results byte-identical to a config that omits the block entirely).
+    kv_tiers: TierConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -157,6 +167,9 @@ def scenario_from_dict(config: dict) -> ScenarioSpec:
         _tenant_from_dict(entry, index=index, scenario_seed=seed)
         for index, entry in enumerate(config.get("tenants", []))
     )
+    kv_tiers = None
+    if "kv_tiers" in config:
+        kv_tiers = tier_config_from_dict(config["kv_tiers"], path="kv_tiers")
     return ScenarioSpec(
         name=config["name"],
         tenants=tenants,
@@ -168,6 +181,7 @@ def scenario_from_dict(config: dict) -> ScenarioSpec:
         autoscale=config.get("autoscale"),
         seed=seed,
         max_input_length=config.get("max_input_length"),
+        kv_tiers=kv_tiers,
     )
 
 
@@ -251,6 +265,7 @@ def _build_fleet(spec: ScenarioSpec, max_input_length: int, *,
         name=spec.name,
         use_event_queue=use_event_queue,
         engine_fast_paths=engine_fast_paths,
+        tier_config=spec.kv_tiers,
     )
 
 

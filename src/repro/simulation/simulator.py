@@ -231,6 +231,7 @@ def simulate_fleet(fleet, requests: list[Request], *,
 
     finished = fleet.finished_requests()
     rejected = fleet.rejected_requests()
+    tier_summary = getattr(fleet, "tier_summary", lambda: None)()
     return FleetSimulationResult(
         fleet_name=fleet.name,
         finished=finished,
@@ -245,6 +246,7 @@ def simulate_fleet(fleet, requests: list[Request], *,
             num_shed=fleet.num_shed,
             num_replicas=fleet.num_replicas,
             peak_replicas=fleet.stats.peak_replicas,
+            tiers=tier_summary,
         ),
         cache_stats=fleet.cache_stats(),
         num_events=events,

@@ -213,9 +213,46 @@ def test_manual_scale_down_drains_without_losing_requests(h100_setup, tiny_trace
     while fleet.next_event_time() is not None:
         fleet.advance_to(fleet.next_event_time())
     assert len(fleet.finished_requests()) == 6
+    # Retirement never orphans an in-flight execution lease: every replica
+    # the fleet ever ran ends with zero outstanding leases.
+    for state in fleet._all_serving() + fleet._retired:
+        assert state.instance.kv.num_active_leases == 0
     with pytest.raises(ConfigurationError):
         fleet.scale_down(now=2.0)
         fleet.scale_down(now=2.0)
+
+
+def test_scale_down_flushes_radix_tree_through_commit_policy(h100_setup, tiny_trace):
+    """A retiring replica's cached prefixes flush via its commit policy.
+
+    With the SUFFIX_OFFLOAD policy the drain stores the radix tree into the
+    replica's offload store (visible in its stats) instead of dropping it.
+    """
+    from repro.core.engine import prefillonly_engine_spec
+    from repro.kvcache.manager import CommitPolicy
+
+    spec = prefillonly_engine_spec(
+        commit_policy=CommitPolicy.SUFFIX_OFFLOAD, cpu_offload_gib=4.0,
+    )
+    fleet = Fleet.for_setup(
+        spec, h100_setup,
+        max_input_length=tiny_trace.max_request_tokens, num_replicas=2,
+    )
+    requests = arrivals(tiny_trace, rate=100.0)
+    for request in requests:
+        fleet.submit(request, request.arrival_time)
+    while fleet.next_event_time() is not None:
+        fleet.advance_to(fleet.next_event_time())
+    victim = fleet.replicas[1]
+    cached_blocks = victim.kv.num_cached_tokens // victim.kv.block_size
+    assert cached_blocks > 0
+    stored_before = victim.kv.stats().offload_stats["stored_blocks"]
+    fleet.scale_down(now=1000.0, reason="test")
+    assert fleet._retired and fleet._retired[0].instance is victim
+    stats = victim.kv.stats().offload_stats
+    # Every radix-tree block not already offloaded was flushed on retirement.
+    assert stats["stored_blocks"] > stored_before
+    assert victim.kv.num_active_leases == 0
 
 
 # ------------------------------------------------------------ fleet metrics
