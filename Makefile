@@ -4,6 +4,8 @@
 #   make bench       - only the benchmark harness (regenerates tables/figures)
 #   make bench-paper - benchmark harness at the paper's full workload scale
 #   make bench-tiers - only the KV-tiering benchmark (tiered vs suffix discard)
+#   make bench-sweep - serial vs parallel engine sweep (byte-identical results)
+#   make perf        - perf-regression harness vs the committed BENCH baseline
 #   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
 #   make examples    - run every example script end to end
 #   make scenarios   - smoke-run every CLI example in docs/SCENARIOS.md
@@ -11,7 +13,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-paper bench-tiers docs-check examples scenarios
+#: Worker processes for the parallel experiment runner targets.
+PERF_WORKERS ?= 4
+#: Committed baseline the perf target compares against (see docs/PERFORMANCE.md).
+PERF_BASELINE ?= BENCH_pr4.json
+
+.PHONY: test bench bench-paper bench-tiers bench-sweep perf docs-check examples scenarios
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +31,14 @@ bench-paper:
 
 bench-tiers:
 	$(PYTHON) -m pytest benchmarks/test_kv_tiers.py -q -s
+
+bench-sweep:
+	$(PYTHON) scripts/perf_report.py sweep --workers $(PERF_WORKERS) --min-speedup 2.0
+
+perf:
+	$(PYTHON) scripts/perf_report.py run --label pr --scale small --workers $(PERF_WORKERS)
+	$(PYTHON) scripts/perf_report.py compare $(PERF_BASELINE) BENCH_pr.json \
+		--max-regression 0.20 --normalize
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

@@ -11,7 +11,9 @@ Fails (exit code 1) when the documentation drifts from the code:
   checked against the parser that actually owns it;
 * every repo-relative file path a CLI line references (config files, traces)
   must exist, so cookbook commands keep working as files move;
-* every relative file link / path reference checked must exist.
+* every relative file link / path reference checked must exist;
+* no compiled bytecode (``*.pyc`` / ``__pycache__``) may be tracked by git —
+  the guard that keeps the PR-0 cleanup permanent.
 
 Run with::
 
@@ -23,6 +25,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -120,9 +123,31 @@ def check_links(text: str, errors: list[str], *, source: str, base: Path) -> Non
             errors.append(f"{source}: broken relative link {target!r}")
 
 
+def check_no_tracked_bytecode(errors: list[str]) -> None:
+    """Fail when git tracks compiled bytecode (``*.pyc`` or ``__pycache__``).
+
+    Bytecode caches are machine-local artefacts; a tracked one means a commit
+    slipped past ``.gitignore`` (as happened before the PR-0 cleanup).  Skipped
+    silently when git is unavailable (e.g. a source tarball).
+    """
+    try:
+        listing = subprocess.run(
+            ["git", "ls-files", "--", "*.pyc", "*.pyo", "*__pycache__*"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return
+    if listing.returncode != 0:
+        return
+    for path in listing.stdout.splitlines():
+        if path:
+            errors.append(f"compiled bytecode is tracked by git: {path!r}")
+
+
 def main() -> int:
     errors: list[str] = []
     checked = 0
+    check_no_tracked_bytecode(errors)
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"missing documentation file: {path.relative_to(REPO_ROOT)}")

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Perf-harness driver: run, compare, and bench-sweep entry points.
+
+Three subcommands (see ``docs/PERFORMANCE.md`` for the workflow):
+
+* ``run``     — run the pinned suite and write ``BENCH_<label>.json``
+  (wraps :func:`repro.perf.harness.run_harness`);
+* ``compare`` — compare a new bench file against a committed baseline and
+  exit non-zero on an events-per-second regression beyond the tolerance.
+  ``--normalize`` divides each case's events/s by the geometric mean of the
+  file's cases first, comparing the *shape* of the profile rather than raw
+  machine speed — the right mode on CI, where runner hardware varies;
+* ``sweep``   — the ``make bench-sweep`` entry: time the engine-comparison
+  fan-out serially and with N workers, assert the results are byte-identical,
+  and (optionally) enforce a minimum speedup when the machine actually has
+  the cores for it.
+
+Run with::
+
+    PYTHONPATH=src python scripts/perf_report.py run --label pr4
+    PYTHONPATH=src python scripts/perf_report.py compare BENCH_pr4.json BENCH_pr.json
+    PYTHONPATH=src python scripts/perf_report.py sweep --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from pathlib import Path
+
+
+def _load_bench(path: str) -> dict:
+    file = Path(path)
+    if not file.exists():
+        raise SystemExit(f"perf_report: bench file not found: {path}")
+    return json.loads(file.read_text(encoding="utf-8"))
+
+
+def _events_per_s(report: dict) -> dict[str, float]:
+    return {case["name"]: case["events_per_s"] for case in report.get("cases", [])}
+
+
+def _normalized(rates: dict[str, float], shared: list[str]) -> dict[str, float]:
+    """Each case's events/s divided by the geometric mean over ``shared``."""
+    log_sum = sum(math.log(rates[name]) for name in shared if rates[name] > 0)
+    mean = math.exp(log_sum / len(shared)) if shared else 1.0
+    return {name: rates[name] / mean for name in shared}
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.perf.harness import format_harness_report, run_harness
+
+    report = run_harness(
+        args.label,
+        scale=args.scale,
+        workers=args.workers,
+        out_dir=args.out,
+        memo_comparison=not args.no_memo_comparison,
+        parallel_check=not args.no_parallel_check,
+    )
+    print(format_harness_report(report))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = _load_bench(args.baseline)
+    new = _load_bench(args.new)
+    base_rates = _events_per_s(baseline)
+    new_rates = _events_per_s(new)
+    shared = [name for name in base_rates if name in new_rates]
+    if not shared:
+        print("perf_report: no shared cases between the two bench files",
+              file=sys.stderr)
+        return 1
+    if args.normalize:
+        base_rates = _normalized(base_rates, shared)
+        new_rates = _normalized(new_rates, shared)
+
+    failures = []
+    print(f"comparing {args.new} against baseline {args.baseline} "
+          f"(max regression {args.max_regression:.0%}"
+          f"{', normalized' if args.normalize else ''}):")
+    for name in shared:
+        old_rate, new_rate = base_rates[name], new_rates[name]
+        change = new_rate / old_rate - 1.0 if old_rate > 0 else 0.0
+        marker = "ok"
+        if change < -args.max_regression:
+            marker = "REGRESSION"
+            failures.append(name)
+        print(f"  {name:<16} {old_rate:>12.1f} -> {new_rate:>12.1f} events/s "
+              f"({change:+.1%}) {marker}")
+    if failures:
+        print(f"perf_report: events/s regression in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("perf_report: no regression")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.perf.harness import measure_parallel
+
+    result = measure_parallel(args.scale, workers=args.workers)
+    print(f"bench-sweep ({result['tasks']} engine x rate simulations, "
+          f"scale={args.scale}):")
+    print(f"  serial   : {result['serial_wall_s']:.2f}s")
+    print(f"  {result['workers']} worker(s): {result['parallel_wall_s']:.2f}s "
+          f"({result['speedup']:.2f}x, mode={result['mode']})")
+    print("  parallel results byte-identical to serial: "
+          f"{result['identical']}")
+    cores = os.cpu_count() or 1
+    if args.min_speedup is not None:
+        if cores < args.workers:
+            print(f"  (machine has {cores} core(s) < {args.workers} workers; "
+                  "speedup floor not enforced)")
+        elif result["speedup"] < args.min_speedup:
+            print(f"perf_report: sweep speedup {result['speedup']:.2f}x is below "
+                  f"the {args.min_speedup:.2f}x floor", file=sys.stderr)
+            return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="perf_report",
+        description="Run / compare the perf-regression harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run the pinned suite, write BENCH_<label>.json")
+    run_parser.add_argument("--label", default="local")
+    run_parser.add_argument("--scale", default="small", choices=["tiny", "small", "paper"])
+    run_parser.add_argument("--workers", type=int, default=4)
+    run_parser.add_argument("--out", default=".")
+    run_parser.add_argument("--no-memo-comparison", action="store_true")
+    run_parser.add_argument("--no-parallel-check", action="store_true")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="fail on events/s regression")
+    compare_parser.add_argument("baseline", help="committed baseline BENCH file")
+    compare_parser.add_argument("new", help="freshly produced BENCH file")
+    compare_parser.add_argument("--max-regression", type=float, default=0.20,
+                                help="tolerated fractional events/s drop per case")
+    compare_parser.add_argument("--normalize", action="store_true",
+                                help="compare machine-speed-normalized profiles "
+                                     "(recommended across different hardware)")
+    compare_parser.set_defaults(func=cmd_compare)
+
+    sweep_parser = sub.add_parser("sweep", help="serial vs parallel engine sweep")
+    sweep_parser.add_argument("--scale", default="small", choices=["tiny", "small", "paper"])
+    sweep_parser.add_argument("--workers", type=int, default=4)
+    sweep_parser.add_argument("--min-speedup", type=float, default=None,
+                              help="fail below this speedup (only enforced when "
+                                   "the machine has at least --workers cores)")
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from repro.analysis.mil import max_input_length
 from repro.hardware.gpu import GPUSpec
 from repro.model.config import ModelConfig
 from repro.model.memory import MemoryModel, PrefillMode
+from repro.perf.runner import ParallelRunner, resolve_runner
 
 
 @dataclass(frozen=True)
@@ -88,10 +89,26 @@ def _hybrid_variant_mil(model: ModelConfig, gpu: GPUSpec, *, chunk_tokens: int,
     return _search_limit(fits)
 
 
+def _ablation_variant_task(task: tuple) -> int:
+    """Compute one ablation bar's MIL (module-level for the parallel runner)."""
+    kind, model, gpu, payload, chunk_tokens = task
+    if kind == "engine":
+        return max_input_length(payload, model, gpu)
+    return _hybrid_variant_mil(
+        model, gpu, chunk_tokens=chunk_tokens, extra_residual_copies=payload
+    )
+
+
 def mil_ablation(model: ModelConfig, gpu: GPUSpec, *,
                  vanilla_spec: EngineSpec, chunked_spec: EngineSpec,
-                 chunk_tokens: int = 2048) -> list[MILAblationStep]:
+                 chunk_tokens: int = 2048,
+                 runner: ParallelRunner | None = None,
+                 max_workers: int | None = None) -> list[MILAblationStep]:
     """Compute the Figure 10 bars for one model / GPU pair.
+
+    The five bars are independent binary searches, so they fan across the
+    parallel runner's workers when one is given; results are byte-identical
+    to the serial default.
 
     Args:
         model: Model to evaluate (the paper uses Qwen-2.5-32B FP8).
@@ -99,17 +116,18 @@ def mil_ablation(model: ModelConfig, gpu: GPUSpec, *,
         vanilla_spec: The vanilla vLLM (PagedAttention) spec.
         chunked_spec: The chunked prefill spec.
         chunk_tokens: Hybrid prefilling chunk size for the three hybrid stages.
+        runner / max_workers: Optional parallel fan-out.
     """
-    vanilla = max_input_length(vanilla_spec, model, gpu)
-    chunked = max_input_length(chunked_spec, model, gpu)
-    chunking_only = _hybrid_variant_mil(
-        model, gpu, chunk_tokens=chunk_tokens, extra_residual_copies=1
-    )
-    with_prealloc = _hybrid_variant_mil(
-        model, gpu, chunk_tokens=chunk_tokens, extra_residual_copies=0
-    )
-    with_inplace = _hybrid_variant_mil(
-        model, gpu, chunk_tokens=chunk_tokens, extra_residual_copies=-1
+    active = resolve_runner(runner, max_workers)
+    tasks = [
+        ("engine", model, gpu, vanilla_spec, chunk_tokens),
+        ("engine", model, gpu, chunked_spec, chunk_tokens),
+        ("hybrid", model, gpu, 1, chunk_tokens),
+        ("hybrid", model, gpu, 0, chunk_tokens),
+        ("hybrid", model, gpu, -1, chunk_tokens),
+    ]
+    vanilla, chunked, chunking_only, with_prealloc, with_inplace = active.map(
+        _ablation_variant_task, tasks
     )
 
     def improvement(value: int) -> float:

@@ -7,6 +7,13 @@ each rate the mean latency, the P99 latency, and the achieved throughput
 achieves when the whole trace arrives at once (§7.2), which
 :func:`base_throughput` reproduces; :func:`paper_qps_points` then builds the
 ``{¼x, ½x, x, 2x, 3x, 4x}`` grid.
+
+Every sweep point is an independent simulation (its seed and offered rate are
+explicit), so :func:`qps_sweep`, :func:`compare_engines`, and
+:func:`throughput_comparison` accept a
+:class:`~repro.perf.runner.ParallelRunner` (or the ``max_workers``
+convenience) to fan the points across CPU cores; results are byte-identical
+to the default serial run.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from repro.core.engine import EngineSpec
 from repro.errors import CapacityError, ConfigurationError
 from repro.hardware.cluster import HardwareSetup
 from repro.model.config import get_model
+from repro.perf.runner import ParallelRunner, resolve_runner
 from repro.simulation.arrival import BurstArrivalProcess, PoissonArrivalProcess
 from repro.simulation.server import ServingSystem
 from repro.simulation.simulator import SimulationResult, simulate
@@ -95,58 +103,99 @@ def paper_qps_points(base_qps: float,
     return [base_qps * multiplier for multiplier in multipliers]
 
 
+def _sweep_point_task(task: tuple) -> SweepPoint:
+    """Run one (engine, setup, trace, qps, seed) simulation into a SweepPoint.
+
+    Module-level so the parallel runner can pickle it; a pure function of its
+    arguments, so serial and parallel execution produce identical points.
+    """
+    spec, setup, trace, qps, seed = task
+    result = run_once(spec, setup, trace, qps=qps, seed=seed)
+    summary = result.summary
+    return SweepPoint(
+        engine=spec.name,
+        hardware=setup.name,
+        workload=trace.name,
+        qps=qps,
+        mean_latency=summary.mean_latency,
+        p99_latency=summary.p99_latency,
+        throughput_rps=summary.throughput_rps,
+        cache_hit_rate=summary.cache_hit_rate,
+        num_finished=summary.num_requests,
+        num_rejected=summary.num_rejected,
+    )
+
+
+def _base_throughput_task(task: tuple) -> float:
+    """Base throughput of one engine, 0.0 when the engine is infeasible."""
+    spec, setup, trace, seed = task
+    try:
+        return base_throughput(spec, setup, trace, seed=seed)
+    except CapacityError:
+        return 0.0
+
+
 def qps_sweep(spec: EngineSpec, setup: HardwareSetup, trace: WorkloadTrace,
-              qps_values: list[float], *, seed: int = 0) -> list[SweepPoint]:
+              qps_values: list[float], *, seed: int = 0,
+              runner: ParallelRunner | None = None,
+              max_workers: int | None = None) -> list[SweepPoint]:
     """Sweep one engine over the offered-QPS grid.
 
     Engines that cannot serve the workload at all (profile run fails) return an
     empty list, mirroring the missing curves in the paper's figures.
+
+    Pass ``runner`` (or ``max_workers``) to fan the points across processes;
+    the returned points are byte-identical to the serial default.
     """
     try:
         _build_system(spec, setup, trace)
     except CapacityError:
         return []
-    points: list[SweepPoint] = []
-    for qps in qps_values:
-        result = run_once(spec, setup, trace, qps=qps, seed=seed)
-        summary = result.summary
-        points.append(SweepPoint(
-            engine=spec.name,
-            hardware=setup.name,
-            workload=trace.name,
-            qps=qps,
-            mean_latency=summary.mean_latency,
-            p99_latency=summary.p99_latency,
-            throughput_rps=summary.throughput_rps,
-            cache_hit_rate=summary.cache_hit_rate,
-            num_finished=summary.num_requests,
-            num_rejected=summary.num_rejected,
-        ))
-    return points
+    active = resolve_runner(runner, max_workers)
+    tasks = [(spec, setup, trace, qps, seed) for qps in qps_values]
+    return active.map(_sweep_point_task, tasks)
 
 
 def compare_engines(specs: list[EngineSpec], setup: HardwareSetup, trace: WorkloadTrace,
-                    qps_values: list[float], *, seed: int = 0) -> dict[str, list[SweepPoint]]:
-    """Sweep several engines over the same grid; infeasible engines map to []."""
-    return {
-        spec.name: qps_sweep(spec, setup, trace, qps_values, seed=seed)
-        for spec in specs
-    }
+                    qps_values: list[float], *, seed: int = 0,
+                    runner: ParallelRunner | None = None,
+                    max_workers: int | None = None) -> dict[str, list[SweepPoint]]:
+    """Sweep several engines over the same grid; infeasible engines map to [].
+
+    With a parallel runner the fan-out is per (engine, rate) pair — finer than
+    per engine, so a slow engine's points do not serialise behind each other.
+    """
+    active = resolve_runner(runner, max_workers)
+    results: dict[str, list[SweepPoint]] = {spec.name: [] for spec in specs}
+    feasible: list[EngineSpec] = []
+    for spec in specs:
+        try:
+            _build_system(spec, setup, trace)
+        except CapacityError:
+            continue
+        feasible.append(spec)
+    tasks = [
+        (spec, setup, trace, qps, seed)
+        for spec in feasible for qps in qps_values
+    ]
+    for point in active.map(_sweep_point_task, tasks):
+        results[point.engine].append(point)
+    return results
 
 
 def throughput_comparison(specs: list[EngineSpec], setup: HardwareSetup, trace: WorkloadTrace, *,
-                          seed: int = 0) -> dict[str, float]:
+                          seed: int = 0,
+                          runner: ParallelRunner | None = None,
+                          max_workers: int | None = None) -> dict[str, float]:
     """Base throughput of each engine on one setup/workload (Figure 8 bars).
 
-    Engines that cannot serve the workload report 0.
+    Engines that cannot serve the workload report 0.  The engines are
+    independent burst simulations, so they fan across the runner's workers.
     """
-    results: dict[str, float] = {}
-    for spec in specs:
-        try:
-            results[spec.name] = base_throughput(spec, setup, trace, seed=seed)
-        except CapacityError:
-            results[spec.name] = 0.0
-    return results
+    active = resolve_runner(runner, max_workers)
+    tasks = [(spec, setup, trace, seed) for spec in specs]
+    values = active.map(_base_throughput_task, tasks)
+    return {spec.name: value for spec, value in zip(specs, values)}
 
 
 def setup_for_name(name: str) -> HardwareSetup:

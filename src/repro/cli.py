@@ -12,8 +12,12 @@ Subcommands map to the main things a user wants to do without writing code:
   and print the fleet report;
 * ``prefillonly scenario``  — the scenario engine: ``run`` / ``replay`` a
   config-file scenario (multi-tenant mixes, bursty/diurnal/flash-crowd/
-  closed-loop arrivals, trace recording) or list the ``arrivals``.  The
-  cookbook in ``docs/SCENARIOS.md`` has one worked example per knob.
+  closed-loop arrivals, trace recording), run a whole ``suite`` directory of
+  configs (optionally across CPU cores), or list the ``arrivals``.  The
+  cookbook in ``docs/SCENARIOS.md`` has one worked example per knob;
+* ``prefillonly perf``      — the perf-regression harness: time the pinned
+  suite, cross-check memoized and parallel execution, and write
+  ``BENCH_<label>.json`` (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -33,7 +37,12 @@ from repro.model.config import MODEL_REGISTRY, get_model
 from repro.hardware.gpu import GPU_REGISTRY
 from repro.simulation.arrival import ARRIVAL_FACTORIES, BurstArrivalProcess, PoissonArrivalProcess
 from repro.simulation.routing import ROUTER_FACTORIES, make_router
-from repro.simulation.scenario import load_scenario, replay_scenario, run_scenario
+from repro.simulation.scenario import (
+    load_scenario,
+    replay_scenario,
+    run_scenario,
+    run_scenario_suite,
+)
 from repro.simulation.simulator import simulate_fleet
 from repro.workloads.registry import get_workload, list_workloads
 
@@ -168,6 +177,45 @@ def _cmd_scenario_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_suite(args: argparse.Namespace) -> int:
+    results = run_scenario_suite(
+        args.dir,
+        max_workers=args.workers,
+        use_event_queue=not args.legacy_loop,
+        engine_fast_paths=not args.legacy_loop,
+    )
+    rows = []
+    for result in results:
+        summary = result.result.summary
+        rows.append({
+            "scenario": result.spec.name,
+            "tenants": len(result.spec.tenants),
+            "finished": summary.num_requests,
+            "rejected": summary.num_rejected,
+            "mean_latency_s": round(summary.mean_latency, 3),
+            "p99_latency_s": round(summary.p99_latency, 3),
+            "throughput_rps": round(summary.throughput_rps, 3),
+            "events": result.result.num_events,
+        })
+    print(format_table(rows, title=f"Scenario suite: {args.dir}"))
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.harness import format_harness_report, run_harness
+
+    report = run_harness(
+        args.label,
+        scale=args.scale,
+        workers=args.workers,
+        out_dir=args.out,
+        memo_comparison=not args.no_memo_comparison,
+        parallel_check=not args.no_parallel_check,
+    )
+    print(format_harness_report(report))
+    return 0
+
+
 def _cmd_scenario_arrivals(_args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(ARRIVAL_FACTORIES):
@@ -280,10 +328,42 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="path to a recorded repro-trace/v1 JSONL file")
     scenario_replay.set_defaults(func=_cmd_scenario_replay)
 
+    scenario_suite = scenario_sub.add_parser(
+        "suite", help="run every scenario config in a directory"
+    )
+    scenario_suite.add_argument("--dir", required=True,
+                                help="directory of scenario JSON configs")
+    scenario_suite.add_argument("--workers", type=int, default=None,
+                                help="fan scenarios across this many processes "
+                                     "(default: serial; results are identical)")
+    scenario_suite.add_argument("--legacy-loop", action="store_true",
+                                help="use the pre-heap event loop and cache scans "
+                                     "(identical results, for comparison)")
+    scenario_suite.set_defaults(func=_cmd_scenario_suite)
+
     scenario_arrivals = scenario_sub.add_parser(
         "arrivals", help="list the registered arrival processes"
     )
     scenario_arrivals.set_defaults(func=_cmd_scenario_arrivals)
+
+    perf_parser = subparsers.add_parser(
+        "perf", help="run the perf-regression harness (see docs/PERFORMANCE.md)"
+    )
+    perf_parser.add_argument("--label", default="local",
+                             help="bench label; output file is BENCH_<label>.json")
+    perf_parser.add_argument("--scale", default="small",
+                             choices=["tiny", "small", "paper"],
+                             help="pinned-suite workload scale")
+    perf_parser.add_argument("--workers", type=int, default=4,
+                             help="worker processes for the parallel cross-check "
+                                  "(clamped to the machine's cores)")
+    perf_parser.add_argument("--out", default=".",
+                             help="directory the BENCH file is written to")
+    perf_parser.add_argument("--no-memo-comparison", action="store_true",
+                             help="skip the memoization on/off measurement")
+    perf_parser.add_argument("--no-parallel-check", action="store_true",
+                             help="skip the parallel-vs-serial sweep cross-check")
+    perf_parser.set_defaults(func=_cmd_perf)
 
     return parser
 

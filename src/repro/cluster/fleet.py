@@ -149,6 +149,11 @@ class Fleet:
                 self.tier_config, block_bytes=kv_block_bytes(self.template.engine, model)
             )
         self.stats = FleetStats()
+        #: Replicas advanced by the most recent :meth:`advance_to` call —
+        #: identical on the heap and scan paths, so the driving loop can count
+        #: processed events consistently (see
+        #: :class:`repro.simulation.simulator.FleetSimulationResult`).
+        self.last_advance_count = 0
         self.scale_events: list[ScaleEvent] = []
         self._shed: list[FinishedRequest] = []
         self._replica_seq = 0
@@ -323,8 +328,10 @@ class Fleet:
         have emptied, and returns the requests that finished on the way.
         """
         finished: list[FinishedRequest] = []
+        advanced = 0
         if self._events is not None:
             due = self._events.pop_due(now)
+            advanced = len(due)
             if len(due) == 1:
                 state = self._states_by_key[due[0]]
                 finished.extend(state.instance.advance_to(now))
@@ -344,6 +351,8 @@ class Fleet:
                 if next_time is None or next_time > now:
                     continue
                 finished.extend(state.instance.advance_to(now))
+                advanced += 1
+        self.last_advance_count = advanced
         self._observe(finished)
         self._retire_drained(now)
         return finished

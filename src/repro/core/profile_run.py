@@ -26,6 +26,7 @@ from repro.errors import CapacityError
 from repro.hardware.gpu import GPUSpec
 from repro.model.config import ModelConfig
 from repro.model.memory import MemoryModel, PrefillMode
+from repro.perf import memo
 
 #: Fraction of GPU memory the engine is allowed to use, mirroring vLLM's
 #: ``gpu_memory_utilization`` flag (the remainder covers the CUDA context,
@@ -58,6 +59,14 @@ class ProfileRunResult:
     usable_memory_bytes: float = 0.0
 
 
+#: Interned profile-run results keyed on every input of :func:`run_profile`.
+#: Every replica of a homogeneous fleet (and every autoscaled clone) runs the
+#: identical profile pass; interning makes replica N's startup a dict hit.
+#: The result is frozen, so sharing one instance is safe.
+_PROFILE_MEMO: dict[tuple, ProfileRunResult] = {}
+memo.register_cache(_PROFILE_MEMO.clear)
+
+
 def run_profile(model: ModelConfig, gpu: GPUSpec, *, max_input_length: int,
                 mode: PrefillMode, chunk_tokens: int = 2048,
                 retain_kv_layers: int | None = None,
@@ -66,12 +75,45 @@ def run_profile(model: ModelConfig, gpu: GPUSpec, *, max_input_length: int,
                 gpu_memory_utilization: float = DEFAULT_GPU_MEMORY_UTILIZATION) -> ProfileRunResult:
     """Run the profile pass and budget the prefix KV cache.
 
+    Successful results are memoized on the full argument tuple (failures are
+    recomputed — they are cheap and their messages embed nothing mutable).
+
     Raises:
         CapacityError: if a single request of ``max_input_length`` tokens cannot
             be served under the given execution mode on this GPU — either the
             forward pass itself does not fit, or (for baseline modes) the KV
             pool left over is smaller than the request's own KV cache.
     """
+    if memo.memo_enabled():
+        key = (model, gpu, max_input_length, mode, chunk_tokens, retain_kv_layers,
+               tensor_parallel, pipeline_parallel, workspace_fraction,
+               gpu_memory_utilization)
+        cached = _PROFILE_MEMO.get(key)
+        if cached is None:
+            cached = _run_profile_uncached(
+                model, gpu, max_input_length=max_input_length, mode=mode,
+                chunk_tokens=chunk_tokens, retain_kv_layers=retain_kv_layers,
+                tensor_parallel=tensor_parallel, pipeline_parallel=pipeline_parallel,
+                workspace_fraction=workspace_fraction,
+                gpu_memory_utilization=gpu_memory_utilization,
+            )
+            _PROFILE_MEMO[key] = cached
+        return cached
+    return _run_profile_uncached(
+        model, gpu, max_input_length=max_input_length, mode=mode,
+        chunk_tokens=chunk_tokens, retain_kv_layers=retain_kv_layers,
+        tensor_parallel=tensor_parallel, pipeline_parallel=pipeline_parallel,
+        workspace_fraction=workspace_fraction,
+        gpu_memory_utilization=gpu_memory_utilization,
+    )
+
+
+def _run_profile_uncached(model: ModelConfig, gpu: GPUSpec, *, max_input_length: int,
+                          mode: PrefillMode, chunk_tokens: int,
+                          retain_kv_layers: int | None,
+                          tensor_parallel: int, pipeline_parallel: int,
+                          workspace_fraction: float,
+                          gpu_memory_utilization: float) -> ProfileRunResult:
     if max_input_length <= 0:
         raise CapacityError("max_input_length must be positive")
     if not 0.0 < gpu_memory_utilization <= 1.0:

@@ -41,6 +41,16 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class PerfCheckError(ReproError):
+    """A perf-harness identity cross-check failed (results diverged).
+
+    Raised — never ``assert``-ed, so ``python -O`` cannot strip the check —
+    when a memoized run differs from an unmemoized one or a parallel run
+    differs from a serial one.  Either means a correctness bug, not a perf
+    problem.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
 

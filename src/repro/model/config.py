@@ -16,6 +16,7 @@ The three registered models correspond to Table 3 of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ConfigurationError
 
@@ -67,18 +68,23 @@ class ModelConfig:
             pass
 
     # ------------------------------------------------------------------ sizes
+    #
+    # Derived sizes are ``cached_property``: they are pure functions of the
+    # frozen fields, computed once per config instead of on every access.
+    # The latency / FLOPs models read them per forward pass, so the caching
+    # is on a hot analytic path (and trivially bit-identical).
 
-    @property
+    @cached_property
     def q_dim(self) -> int:
         """Total query projection width."""
         return self.num_attention_heads * self.head_dim
 
-    @property
+    @cached_property
     def kv_dim(self) -> int:
         """Total key (or value) projection width."""
         return self.num_kv_heads * self.head_dim
 
-    @property
+    @cached_property
     def num_parameters(self) -> int:
         """Approximate total parameter count derived from the architecture."""
         embed = self.vocab_size * self.hidden_size
@@ -92,27 +98,27 @@ class ModelConfig:
         lm_head = self.vocab_size * self.hidden_size
         return embed + attn + mlp + norms + lm_head
 
-    @property
+    @cached_property
     def weight_bytes(self) -> int:
         """Total bytes occupied by the model weights."""
         return int(self.num_parameters * self.weight_bytes_per_param)
 
-    @property
+    @cached_property
     def kv_bytes_per_token_per_layer(self) -> int:
         """KV-cache bytes contributed by one token in one layer (K and V)."""
         return int(2 * self.kv_dim * self.kv_bytes_per_element)
 
-    @property
+    @cached_property
     def kv_bytes_per_token(self) -> int:
         """KV-cache bytes contributed by one token across all layers."""
         return self.num_layers * self.kv_bytes_per_token_per_layer
 
-    @property
+    @cached_property
     def hidden_bytes_per_token(self) -> int:
         """Bytes of one residual-stream vector for one token."""
         return int(self.hidden_size * self.activation_bytes_per_element)
 
-    @property
+    @cached_property
     def mlp_intermediate_elements_per_token(self) -> int:
         """Elements of the fused gate+up MLP intermediate tensor per token.
 

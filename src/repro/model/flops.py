@@ -5,6 +5,12 @@ seconds using the GPU's sustained throughput.  The split between the dense
 (linear-layer) term and the attention (sequence-length-quadratic) term matters
 because chunked prefilling and tensor parallelism affect the two terms
 differently.
+
+The per-token coefficients (dense FLOPs per token, attention FLOPs per
+token-of-context per layer) are precomputed once at construction: they are
+pure functions of the architecture, and the per-call arithmetic keeps the
+seed implementation's exact operation order, so every breakdown is
+bit-identical to computing the coefficients inline.
 """
 
 from __future__ import annotations
@@ -37,6 +43,17 @@ class FlopsModel:
 
     def __init__(self, model: ModelConfig) -> None:
         self._model = model
+        # Precomputed per-token coefficients (hot-path memoization).  The
+        # groupings mirror the seed's evaluation order exactly:
+        #   dense      = (2.0 * num_parameters) * tokens
+        #   per_layer  = (4.0 * num_attention_heads) * head_dim
+        #   decode attention = (num_layers * per_layer) * context
+        self._dense_per_token = 2.0 * model.num_parameters
+        self._attention_per_layer = 4.0 * model.num_attention_heads * model.head_dim
+        self._decode_attention_per_context = (
+            model.num_layers * self._attention_per_layer
+        )
+        self._num_layers = model.num_layers
 
     @property
     def model(self) -> ModelConfig:
@@ -52,27 +69,23 @@ class FlopsModel:
         """
         if num_new_tokens < 0 or num_cached_tokens < 0:
             raise ValueError("token counts must be non-negative")
-        model = self._model
-        total_context = num_new_tokens + num_cached_tokens
-        dense = 2.0 * model.num_parameters * num_new_tokens
+        dense = self._dense_per_token * num_new_tokens
         # Q@K^T and P@V: 2 matmuls, each 2 * heads * head_dim * new * context,
         # per layer.  Causal masking halves the average context length for the
         # new tokens attending to each other; we fold that in for the new-new
         # part and keep the full term for new-cached attention.
-        per_layer = 4.0 * model.num_attention_heads * model.head_dim
+        per_layer = self._attention_per_layer
         new_new = per_layer * num_new_tokens * max(num_new_tokens, 1) / 2.0
         new_cached = per_layer * num_new_tokens * num_cached_tokens
-        attention = model.num_layers * (new_new + new_cached)
+        attention = self._num_layers * (new_new + new_cached)
         return FlopsBreakdown(dense_flops=dense, attention_flops=attention)
 
     def decode_step(self, context_length: int) -> FlopsBreakdown:
         """FLOPs to decode one token with ``context_length`` tokens of context."""
         if context_length < 0:
             raise ValueError("context_length must be non-negative")
-        model = self._model
-        dense = 2.0 * model.num_parameters
-        per_layer = 4.0 * model.num_attention_heads * model.head_dim
-        attention = model.num_layers * per_layer * context_length
+        dense = self._dense_per_token
+        attention = self._decode_attention_per_context * context_length
         return FlopsBreakdown(dense_flops=dense, attention_flops=attention)
 
     def decode_sequence(self, prompt_length: int, num_output_tokens: int) -> FlopsBreakdown:

@@ -26,6 +26,7 @@ from repro.hardware.interconnect import Interconnect, allreduce_time
 from repro.model.config import ModelConfig
 from repro.model.flops import FlopsModel
 from repro.model.memory import PrefillMode
+from repro.perf import memo
 
 
 #: Fraction of throughput lost by the attention kernel when the prefill is cut
@@ -38,6 +39,11 @@ CHUNKED_REFERENCE_CHUNK = 512
 #: Per-chunk kernel launch overhead of hybrid prefilling (seconds).  Hybrid
 #: prefilling only re-launches the position-wise layers, so this is small.
 HYBRID_PER_CHUNK_OVERHEAD = 40e-6
+
+#: Entries kept per latency-model memo before it is cleared and restarted.
+#: Generous: a whole JCT profiling grid at 1,000-token granularity over a
+#: 131k MIL is ~8,700 distinct keys.
+LATENCY_MEMO_MAX_ENTRIES = 65_536
 
 
 @dataclass(frozen=True)
@@ -73,6 +79,15 @@ def chunked_prefill_penalty(num_tokens: int, chunk_tokens: int) -> float:
 class LatencyModel:
     """Latency of prefill / decode passes of ``model`` on ``gpu``.
 
+    Timings are memoized per instance, keyed on the *full* argument tuple of
+    each query (token counts, execution mode, chunk size, parallel degrees),
+    so a cached timing is bit-identical to a fresh computation — the cache
+    stores exactly what the computation returned.  Schedulers, JCT profilers,
+    and engines query the same few (new, cached, mode) buckets over and over
+    during a simulation; the memo turns those repeats into dictionary hits.
+    The :mod:`repro.perf.memo` switchboard disables the memo globally for
+    before/after measurement.
+
     Args:
         model: Transformer architecture.
         gpu: Device the forward pass runs on (one shard for parallel setups).
@@ -85,6 +100,24 @@ class LatencyModel:
         self._gpu = gpu
         self._interconnect = interconnect
         self._flops = FlopsModel(model)
+        self._prefill_memo: dict[tuple, PrefillTiming] = {}
+        self._decode_memo: dict[tuple, float] = {}
+        self._memo_epoch = memo.memo_epoch()
+
+    def _memo_ready(self) -> bool:
+        """True when the memos may be consulted (dropping them on epoch change)."""
+        if not memo.memo_enabled():
+            return False
+        epoch = memo.memo_epoch()
+        if epoch != self._memo_epoch:
+            self._prefill_memo.clear()
+            self._decode_memo.clear()
+            self._memo_epoch = epoch
+        return True
+
+    def memo_sizes(self) -> tuple[int, int]:
+        """Current (prefill, decode) memo entry counts (for tests / reports)."""
+        return len(self._prefill_memo), len(self._decode_memo)
 
     @property
     def model(self) -> ModelConfig:
@@ -93,6 +126,10 @@ class LatencyModel:
     @property
     def gpu(self) -> GPUSpec:
         return self._gpu
+
+    @property
+    def interconnect(self) -> Interconnect | None:
+        return self._interconnect
 
     # ------------------------------------------------------------- prefill
 
@@ -107,7 +144,32 @@ class LatencyModel:
         (stages execute one after the other for a single request); the serving
         simulator divides the work across per-stage resources to capture the
         throughput benefit and the bubbles.
+
+        Memoized on the full argument tuple; a hit returns the exact
+        :class:`PrefillTiming` (frozen) a fresh computation would produce.
         """
+        if self._memo_ready():
+            key = (num_new_tokens, num_cached_tokens, mode, chunk_tokens,
+                   tensor_parallel, pipeline_parallel)
+            cached = self._prefill_memo.get(key)
+            if cached is None:
+                cached = self._prefill_time_uncached(
+                    num_new_tokens, num_cached_tokens, mode, chunk_tokens,
+                    tensor_parallel, pipeline_parallel,
+                )
+                if len(self._prefill_memo) >= LATENCY_MEMO_MAX_ENTRIES:
+                    self._prefill_memo.clear()
+                self._prefill_memo[key] = cached
+            return cached
+        return self._prefill_time_uncached(
+            num_new_tokens, num_cached_tokens, mode, chunk_tokens,
+            tensor_parallel, pipeline_parallel,
+        )
+
+    def _prefill_time_uncached(self, num_new_tokens: int, num_cached_tokens: int,
+                               mode: PrefillMode, chunk_tokens: int,
+                               tensor_parallel: int,
+                               pipeline_parallel: int) -> PrefillTiming:
         if num_new_tokens <= 0:
             return PrefillTiming(0.0, 0.0, self._gpu.kernel_launch_overhead)
         breakdown = self._flops.prefill(num_new_tokens, num_cached_tokens=num_cached_tokens)
@@ -161,7 +223,25 @@ class LatencyModel:
         weights once per batch, amortised over ``batch_size`` requests) and the
         compute term for this request's share.  This is only used by the
         motivation benchmark (prefill-only latency vs. generative latency).
+
+        Memoized on ``(prompt_length, num_output_tokens, batch_size)`` — the
+        per-token loop makes this the most expensive analytic query.
         """
+        if self._memo_ready():
+            key = (prompt_length, num_output_tokens, batch_size)
+            cached = self._decode_memo.get(key)
+            if cached is None:
+                cached = self._decode_time_uncached(
+                    prompt_length, num_output_tokens, batch_size
+                )
+                if len(self._decode_memo) >= LATENCY_MEMO_MAX_ENTRIES:
+                    self._decode_memo.clear()
+                self._decode_memo[key] = cached
+            return cached
+        return self._decode_time_uncached(prompt_length, num_output_tokens, batch_size)
+
+    def _decode_time_uncached(self, prompt_length: int, num_output_tokens: int,
+                              batch_size: int) -> float:
         if num_output_tokens <= 0:
             return 0.0
         weight_stream = self._model.weight_bytes / self._gpu.memory_bandwidth / max(batch_size, 1)

@@ -1,0 +1,37 @@
+"""Experiment-layer performance subsystem.
+
+PR 2 and PR 3 made the *inner* event loop fast; this package makes the
+*experiment* layer fast:
+
+* :mod:`repro.perf.runner` — a :class:`ParallelRunner` that fans independent
+  simulation runs (sweep points, ablation variants, scenario configs) across
+  CPU cores with a serial fallback, plus deterministic per-task seed
+  derivation;
+* :mod:`repro.perf.memo` — the process-wide memoization switchboard behind the
+  analytic-model caches (LRU-cached latency model, memoized profile runs and
+  JCT estimators, interned hash chains).  Memoization never changes results —
+  every cached value is bit-identical to a fresh computation — so the switch
+  exists purely for before/after measurement;
+* :mod:`repro.perf.harness` — the standing perf-regression harness: a pinned
+  suite of simulations plus an analytic-model case, timed and written to
+  ``BENCH_<label>.json`` so the repo records its perf trajectory.
+
+``repro.perf.harness`` is imported lazily (it pulls in the analysis layer,
+which itself uses this package's runner).
+"""
+
+from repro.perf.memo import clear_all_caches, memo_enabled, set_memo_enabled
+from repro.perf.runner import (
+    ParallelRunner,
+    derive_task_seeds,
+    resolve_runner,
+)
+
+__all__ = [
+    "ParallelRunner",
+    "derive_task_seeds",
+    "resolve_runner",
+    "memo_enabled",
+    "set_memo_enabled",
+    "clear_all_caches",
+]

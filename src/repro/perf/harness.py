@@ -1,0 +1,466 @@
+"""The standing perf-regression harness.
+
+``BENCH_<label>.json`` files at the repo root record the repo's performance
+trajectory: every PR that claims a perf win (or might cost one) runs this
+harness and commits the result, and CI replays it against the committed
+baseline (``make perf``).  The harness times a **pinned suite** — the same
+five cases, with the same seeds, at a named scale — and reports, per case,
+wall-clock seconds, processed events, events per second, and the process's
+peak RSS high-water mark:
+
+* ``single-engine``  — a QPS sweep of the paper's engine on one serving system;
+* ``fleet-4``        — a 4-replica fleet under bursty (MMPP) arrivals;
+* ``fleet-tiered``   — the same fleet with the GPU -> host -> cluster tiered
+  prefix cache enabled;
+* ``fleet-32-loop``  — a 32-replica, closed-loop-driven fleet with the fitted
+  JCT scheduler (loop-bound: dominated by per-event bookkeeping and replica
+  startup, the paths the profile-run / JCT-estimator memos accelerate);
+* ``analytic``       — the analytic models alone (JCT profiling grids,
+  estimator fits, decode-latency curves, the Table 2 MIL matrix), the paths
+  the latency-model LRU accelerates.
+
+Two cross-checks ride along, both hard failures (:class:`~repro.errors.PerfCheckError`)
+rather than measurements:
+
+* **parallel = serial**: the bench-sweep fan-out is run serially and with N
+  workers and the two results must serialise to identical JSON bytes;
+* **memo on = memo off**: the whole pinned suite is run with memoization
+  disabled and enabled, and every case's result signature (raw, unrounded
+  floats) must match exactly.
+
+The harness runs from :func:`run_harness` (the ``prefillonly perf`` CLI
+subcommand and ``scripts/perf_report.py`` wrap it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.ablation import mil_ablation
+from repro.analysis.mil import mil_table
+from repro.analysis.sweep import compare_engines, qps_sweep, run_once
+from repro.baselines.registry import all_engine_specs, get_engine_spec
+from repro.cluster import Fleet
+from repro.core.jct import JCTEstimator, JCTProfiler, jct_pearson_correlation
+from repro.errors import ConfigurationError, PerfCheckError
+from repro.hardware.cluster import get_hardware_setup
+from repro.kvcache.tiers import TierConfig
+from repro.model.config import get_model
+from repro.model.latency import LatencyModel
+from repro.perf import memo
+from repro.perf.runner import ParallelRunner
+from repro.simulation.arrival import make_arrival
+from repro.simulation.routing import make_router
+from repro.simulation.simulator import simulate_fleet
+from repro.workloads.registry import get_workload
+
+__all__ = [
+    "SCALES",
+    "PINNED_CASES",
+    "CaseResult",
+    "run_case",
+    "run_suite",
+    "measure_memoization",
+    "measure_parallel",
+    "run_harness",
+    "format_harness_report",
+    "bench_path",
+]
+
+#: Harness scales: ``tiny`` keeps the test suite fast, ``small`` is the CI /
+#: default scale, ``paper`` uses the paper-sized workloads.
+SCALES = ("tiny", "small", "paper")
+
+#: Workload sizes per scale: (post-rec users, posts per user, credit users,
+#: analytic MIL grid tokens, analytic granularity).
+_SCALE_PARAMS = {
+    "tiny": (3, 4, 4, 8_000, 2_000),
+    "small": (8, 50, 10, 20_000, 250),
+    "paper": (20, 50, 60, 61_000, 500),
+}
+
+
+def _check_scale(scale: str) -> tuple:
+    try:
+        return _SCALE_PARAMS[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown harness scale {scale!r}; expected one of {SCALES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One timed case of the pinned suite.
+
+    ``signature`` is a canonical JSON string of the case's raw (unrounded)
+    result metrics — what the memo on/off and parallel/serial cross-checks
+    compare byte for byte.  ``peak_rss_kib`` is the process high-water mark
+    *after* the case ran (``ru_maxrss`` is monotonic, so attribute spikes to
+    the first case whose value jumps).
+    """
+
+    name: str
+    wall_s: float
+    events: int
+    peak_rss_kib: int
+    signature: str
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "events_per_s": round(self.events_per_s, 1),
+            "peak_rss_kib": self.peak_rss_kib,
+        }
+
+
+def _signature(payload) -> str:
+    """Canonical JSON of raw metrics — byte-identical iff the floats are."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _summary_payload(result) -> list:
+    summary = result.summary
+    return [
+        summary.num_requests, summary.num_rejected,
+        summary.mean_latency, summary.p99_latency,
+        summary.throughput_rps, summary.cache_hit_rate,
+        result.num_events,
+    ]
+
+
+# ------------------------------------------------------------- pinned cases
+
+
+def _case_single_engine(scale: str) -> tuple[int, str]:
+    users, posts, _, _, _ = _check_scale(scale)
+    spec = get_engine_spec("prefillonly")
+    setup = get_hardware_setup("h100")
+    trace = get_workload("post-recommendation", num_users=users,
+                         posts_per_user=posts, seed=0)
+    events = 0
+    payload = []
+    for qps in (2.0, 8.0, 32.0):
+        result = run_once(spec, setup, trace, qps=qps, seed=0)
+        events += result.num_events
+        payload.append(_summary_payload(result))
+    return events, _signature(payload)
+
+
+def _fleet_case(scale: str, *, replicas: int, arrival_name: str,
+                arrival_params: dict, tier_config: TierConfig | None = None,
+                fitted_jct: bool = False) -> tuple[int, str]:
+    users, posts, _, _, _ = _check_scale(scale)
+    spec = get_engine_spec("prefillonly")
+    if fitted_jct:
+        spec = spec.with_overrides(use_fitted_jct=True)
+    setup = get_hardware_setup("h100")
+    trace = get_workload("post-recommendation", num_users=users,
+                         posts_per_user=posts, seed=1)
+    fleet = Fleet.for_setup(
+        spec, setup,
+        max_input_length=trace.max_request_tokens,
+        num_replicas=replicas,
+        router=make_router("user-id", replicas),
+        name=f"harness-{replicas}",
+        tier_config=tier_config,
+    )
+    requests = make_arrival(arrival_name, **arrival_params).assign(list(trace.requests))
+    result = simulate_fleet(fleet, requests)
+    return result.num_events, _signature(_summary_payload(result))
+
+
+def _case_fleet_4(scale: str) -> tuple[int, str]:
+    return _fleet_case(
+        scale, replicas=4, arrival_name="mmpp",
+        arrival_params={"base_rate": 4.0, "burst_rate": 40.0, "seed": 2},
+    )
+
+
+def _case_fleet_tiered(scale: str) -> tuple[int, str]:
+    return _fleet_case(
+        scale, replicas=4, arrival_name="mmpp",
+        arrival_params={"base_rate": 4.0, "burst_rate": 40.0, "seed": 2},
+        tier_config=TierConfig(enabled=True, host_gib=2.0, cluster_gib=8.0),
+    )
+
+
+def _case_fleet_32_loop(scale: str) -> tuple[int, str]:
+    return _fleet_case(
+        scale, replicas=32, arrival_name="closed-loop",
+        arrival_params={"num_clients": 64, "mean_think_seconds": 0.2,
+                        "service_estimate_seconds": 0.3, "seed": 3},
+        fitted_jct=True,
+    )
+
+
+def _case_analytic(scale: str) -> tuple[int, str]:
+    """The analytic models alone: JCT grids, estimator fits, decode curves, MIL.
+
+    Mirrors how the figure/table benchmarks actually query the models — the
+    same grids recur across figures (correlation plot, fitted scheduler,
+    lambda sweep), which is exactly what the latency-model LRU exploits.
+    """
+    _, _, _, mil_tokens, granularity = _check_scale(scale)
+    events = 0
+    payload = []
+    for setup_name in ("l4", "a100", "h100"):
+        setup = get_hardware_setup(setup_name)
+        model = get_model(setup.model_name)
+        latency = LatencyModel(model, setup.cluster.gpu, setup.cluster.interconnect)
+        # The correlation figure profiles the grid explicitly ...
+        profile = JCTProfiler(latency).profile(mil_tokens, granularity=granularity)
+        events += len(profile)
+        payload.append(jct_pearson_correlation(profile))
+        # ... and the fitted-JCT scheduler re-derives the estimator on every
+        # engine construction (three per setup across the lambda sweep), the
+        # startup path the estimator memo interns.
+        for _ in range(3):
+            estimator = JCTEstimator.from_latency_model(
+                latency, mil_tokens, granularity=granularity
+            )
+            events += len(profile)
+            payload.append([estimator.coef_uncached, estimator.coef_cached,
+                            estimator.intercept])
+        # Decode curves of the motivation figure (prefill-only vs generative):
+        # a batch-size family per output length, and the figure plus its
+        # summary table each query the full family.
+        for _ in range(2):
+            for output_tokens in (256, 1024):
+                for batch_size in (1, 8, 32):
+                    events += output_tokens
+                    payload.append(latency.decode_time(
+                        mil_tokens // 2, output_tokens, batch_size=batch_size
+                    ))
+    rows = mil_table(
+        [get_engine_spec(name) for name in ("prefillonly", "paged-attention")],
+        [get_hardware_setup(name) for name in ("a100", "h100")],
+        get_model,
+    )
+    events += len(rows)
+    payload.append(rows)
+    ablation = mil_ablation(
+        get_model("qwen-32b-fp8"), get_hardware_setup("a100").cluster.gpu,
+        vanilla_spec=get_engine_spec("paged-attention"),
+        chunked_spec=get_engine_spec("chunked-prefill"),
+    )
+    events += len(ablation)
+    payload.append([[step.name, step.max_input_length] for step in ablation])
+    return events, _signature(payload)
+
+
+#: The pinned suite, in run order.  Names are stable — BENCH files and the
+#: regression comparison key on them.
+PINNED_CASES = {
+    "single-engine": _case_single_engine,
+    "fleet-4": _case_fleet_4,
+    "fleet-tiered": _case_fleet_tiered,
+    "fleet-32-loop": _case_fleet_32_loop,
+    "analytic": _case_analytic,
+}
+
+
+# ---------------------------------------------------------------- execution
+
+
+def run_case(name: str, scale: str = "small") -> CaseResult:
+    """Time one pinned case."""
+    try:
+        case = PINNED_CASES[name]
+    except KeyError:
+        known = ", ".join(PINNED_CASES)
+        raise ConfigurationError(f"unknown harness case {name!r}; known: {known}") from None
+    start = time.perf_counter()
+    events, signature = case(scale)
+    wall = time.perf_counter() - start
+    return CaseResult(
+        name=name,
+        wall_s=wall,
+        events=events,
+        peak_rss_kib=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        signature=signature,
+    )
+
+
+def run_suite(scale: str = "small") -> list[CaseResult]:
+    """Time every pinned case, in pinned order."""
+    _check_scale(scale)
+    return [run_case(name, scale) for name in PINNED_CASES]
+
+
+def measure_memoization(scale: str = "small", *, iterations: int = 2) -> dict:
+    """Run the pinned suite memo-off then memo-on; assert identical results.
+
+    Both modes run ``iterations`` times and report the fastest total
+    (standard best-of-N timing; symmetric between the modes, and with the
+    caches cleared on every mode switch, the off-mode iterations never cache
+    anything while the on-mode repeats legitimately reap warm caches — which
+    is exactly what memoization buys a long benchmarking session).  Returns
+    the two wall-clock totals, the speedup, and the identity verdict.  The
+    prior memo state is restored afterwards.
+
+    Raises:
+        PerfCheckError: if any case's result signature differs between the
+            memoized and unmemoized runs — memoization must never change
+            results.
+    """
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    was_enabled = memo.memo_enabled()
+    cold_runs: list[list[CaseResult]] = []
+    warm_runs: list[list[CaseResult]] = []
+    try:
+        memo.set_memo_enabled(False)
+        for _ in range(iterations):
+            cold_runs.append(run_suite(scale))
+        memo.set_memo_enabled(True)
+        for _ in range(iterations):
+            warm_runs.append(run_suite(scale))
+    finally:
+        memo.set_memo_enabled(was_enabled)
+    reference = cold_runs[0]
+    for run in cold_runs[1:] + warm_runs:
+        for expected, case in zip(reference, run):
+            if expected.signature != case.signature:
+                raise PerfCheckError(
+                    f"memoization changed the results of case {case.name!r}"
+                )
+    disabled_wall = min(sum(case.wall_s for case in run) for run in cold_runs)
+    enabled_wall = min(sum(case.wall_s for case in run) for run in warm_runs)
+    return {
+        "iterations": iterations,
+        "disabled_wall_s": round(disabled_wall, 4),
+        "enabled_wall_s": round(enabled_wall, 4),
+        "speedup": round(disabled_wall / enabled_wall, 3) if enabled_wall > 0 else 0.0,
+        "identical": True,
+        "cases_disabled": [case.as_dict() for case in cold_runs[0]],
+    }
+
+
+def measure_parallel(scale: str = "small", *, workers: int = 4,
+                     clamp_to_cores: bool = True) -> dict:
+    """Time the bench-sweep fan-out serially and with ``workers`` processes.
+
+    The fan-out is ``compare_engines`` over every registered engine and a
+    four-point rate grid — the exact shape ``make bench-sweep`` runs.  The two
+    results must serialise to identical JSON bytes.
+
+    ``workers`` is clamped to the machine's core count by default: extra
+    processes on a saturated machine only add overhead, and on a single-core
+    box the runner degrades to its (identical-result) serial path.  Pass
+    ``clamp_to_cores=False`` to force the multi-process path regardless (the
+    correctness tests do).
+
+    Raises:
+        PerfCheckError: if the parallel sweep differs from the serial sweep.
+    """
+    if clamp_to_cores:
+        workers = min(workers, os.cpu_count() or 1)
+    users, posts, _, _, _ = _check_scale(scale)
+    specs = all_engine_specs()
+    setup = get_hardware_setup("h100")
+    trace = get_workload("post-recommendation", num_users=users,
+                         posts_per_user=posts, seed=0)
+    qps_values = [2.0, 8.0, 16.0, 32.0]
+
+    start = time.perf_counter()
+    serial = compare_engines(specs, setup, trace, qps_values)
+    serial_wall = time.perf_counter() - start
+
+    runner = ParallelRunner(max_workers=workers)
+    start = time.perf_counter()
+    parallel = compare_engines(specs, setup, trace, qps_values, runner=runner)
+    parallel_wall = time.perf_counter() - start
+
+    serial_bytes = _signature(
+        {name: [point.as_dict() for point in points] for name, points in serial.items()}
+    )
+    parallel_bytes = _signature(
+        {name: [point.as_dict() for point in points] for name, points in parallel.items()}
+    )
+    if serial_bytes != parallel_bytes:
+        raise PerfCheckError("parallel sweep differs from serial sweep")
+    return {
+        "workers": workers,
+        "mode": runner.last_mode,
+        "tasks": sum(1 for points in serial.values() for _ in points),
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall > 0 else 0.0,
+        "identical": True,
+    }
+
+
+def bench_path(label: str, out_dir: str | Path = ".") -> Path:
+    """Where ``run_harness`` writes the bench file for ``label``."""
+    return Path(out_dir) / f"BENCH_{label}.json"
+
+
+def run_harness(label: str, *, scale: str = "small", workers: int = 4,
+                out_dir: str | Path = ".",
+                memo_comparison: bool = True,
+                parallel_check: bool = True) -> dict:
+    """Run the pinned suite plus cross-checks and write ``BENCH_<label>.json``.
+
+    Returns the report dict (also written to disk).  The report carries no
+    wall-clock timestamps — bench files diff cleanly — but does record the
+    Python version and machine, since events/s is machine-relative.
+    """
+    cases = run_suite(scale)
+    report: dict = {
+        "label": label,
+        "scale": scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "cases": [case.as_dict() for case in cases],
+        "total_wall_s": round(sum(case.wall_s for case in cases), 4),
+    }
+    if memo_comparison:
+        report["memoization"] = measure_memoization(scale)
+    if parallel_check:
+        report["parallel"] = measure_parallel(scale, workers=workers)
+    path = bench_path(label, out_dir)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    report["path"] = str(path)
+    return report
+
+
+def format_harness_report(report: dict) -> str:
+    """Human-readable summary of a harness report (CLI output)."""
+    from repro.analysis.reporting import format_table
+
+    lines = [format_table(
+        report["cases"],
+        title=f"Perf harness: {report['label']} (scale={report['scale']})",
+    )]
+    memoization = report.get("memoization")
+    if memoization:
+        lines.append(
+            f"memoization: {memoization['disabled_wall_s']:.2f}s off -> "
+            f"{memoization['enabled_wall_s']:.2f}s on "
+            f"({memoization['speedup']:.2f}x, results identical)"
+        )
+    parallel = report.get("parallel")
+    if parallel:
+        lines.append(
+            f"parallel sweep ({parallel['workers']} workers, "
+            f"{parallel['tasks']} tasks): {parallel['serial_wall_s']:.2f}s serial -> "
+            f"{parallel['parallel_wall_s']:.2f}s parallel "
+            f"({parallel['speedup']:.2f}x, results identical)"
+        )
+    if "path" in report:
+        lines.append(f"wrote {report['path']}")
+    return "\n".join(lines)

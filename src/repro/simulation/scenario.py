@@ -62,6 +62,7 @@ from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.errors import ScenarioError
 from repro.hardware.cluster import get_hardware_setup
 from repro.kvcache.tiers import TierConfig, tier_config_from_dict
+from repro.perf.runner import ParallelRunner, resolve_runner
 from repro.simulation.arrival import make_arrival
 from repro.simulation.metrics import LatencySummary, summarize_finished
 from repro.simulation.routing import make_router
@@ -79,6 +80,8 @@ __all__ = [
     "build_mix",
     "run_scenario",
     "replay_scenario",
+    "discover_scenarios",
+    "run_scenario_suite",
 ]
 
 _TENANT_KEYS = {
@@ -344,6 +347,61 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
         tenants=_tenant_reports(spec, requests, result),
         trace_path=trace_path,
     )
+
+
+def discover_scenarios(directory: str | Path) -> list[Path]:
+    """The scenario config files of a suite directory, in sorted order.
+
+    Raises:
+        ScenarioError: when the directory does not exist or holds no configs.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ScenarioError(f"scenario suite directory not found: {directory}")
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        raise ScenarioError(f"no scenario configs (*.json) under {directory}")
+    return paths
+
+
+def _suite_task(task: tuple) -> ScenarioResult:
+    """Load and run one scenario config (module-level for the parallel runner)."""
+    path, use_event_queue, engine_fast_paths = task
+    spec = load_scenario(path)
+    return run_scenario(
+        spec, use_event_queue=use_event_queue, engine_fast_paths=engine_fast_paths,
+    )
+
+
+def run_scenario_suite(scenarios: str | Path | list[str | Path], *,
+                       runner: ParallelRunner | None = None,
+                       max_workers: int | None = None,
+                       use_event_queue: bool = True,
+                       engine_fast_paths: bool = True) -> list[ScenarioResult]:
+    """Run a whole suite of scenario configs, optionally across processes.
+
+    Args:
+        scenarios: A directory of ``*.json`` configs (run in sorted order) or
+            an explicit list of config paths (run in the given order).
+        runner / max_workers: Optional parallel fan-out — each scenario is an
+            independent simulation, and each worker re-derives the request
+            stream from the config's explicit seeds, so parallel results are
+            byte-identical to a serial run.
+        use_event_queue / engine_fast_paths: Fast-path switches passed through
+            to every :func:`run_scenario`.
+
+    Returns:
+        One :class:`ScenarioResult` per config, in config order.
+    """
+    if isinstance(scenarios, (str, Path)):
+        paths = discover_scenarios(scenarios)
+    else:
+        paths = [Path(path) for path in scenarios]
+        if not paths:
+            raise ScenarioError("run_scenario_suite needs at least one scenario")
+    active = resolve_runner(runner, max_workers)
+    tasks = [(str(path), use_event_queue, engine_fast_paths) for path in paths]
+    return active.map(_suite_task, tasks)
 
 
 def replay_scenario(spec: ScenarioSpec, trace_path: str | Path, *,

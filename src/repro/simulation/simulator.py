@@ -42,7 +42,13 @@ from repro.workloads.trace import Request
 
 @dataclass
 class SimulationResult:
-    """Everything a benchmark needs from one simulation run."""
+    """Everything a benchmark needs from one simulation run.
+
+    ``num_events`` counts the *processed* simulation events — one per request
+    arrival plus one per instance advanced on an internal event — identically
+    on the heap and linear-scan paths, so events-per-second is comparable
+    across loops, fleets, and the perf harness.
+    """
 
     engine_name: str
     finished: list[FinishedRequest]
@@ -117,18 +123,31 @@ def simulate(system: ServingSystem, requests: list[Request], *,
             instance.advance_to(now)
             if queue is not None:
                 queue.update(index_of[id(instance)], instance.next_event_time())
+            events += 1
         elif queue is not None:
             # The engine fires events within TIME_EPSILON of `now`, so drain
             # every instance in that window — exactly the set the linear scan's
             # whole-system advance would have moved.
-            for key in queue.pop_due(now, epsilon=TIME_EPSILON):
+            due = queue.pop_due(now, epsilon=TIME_EPSILON)
+            for key in due:
                 instance = instances[key]
                 instance.advance_to(now)
                 queue.update(key, instance.next_event_time())
+            # A finite next_internal means >= 1 source is due; the max() keeps
+            # the max_events runaway guard armed even if event bookkeeping
+            # desyncs and an iteration advances nothing.
+            events += max(len(due), 1)
         else:
+            # Count the instances with a due event before the whole-system
+            # advance moves them — the same set the heap path pops, so both
+            # paths report identical event counts.
+            events += max(sum(
+                1 for instance in system.instances
+                if (next_time := instance.next_event_time()) is not None
+                and next_time <= now + TIME_EPSILON
+            ), 1)
             system.advance_to(now)
 
-        events += 1
         if events > max_events:
             raise SimulationError(f"simulation exceeded {max_events} events")
 
@@ -150,6 +169,12 @@ class FleetSimulationResult:
 
     ``rejected`` contains engine-level rejections *and* admission-control
     sheds; ``shed`` is the admission-control subset on its own.
+
+    ``num_events`` counts processed events exactly like
+    :class:`SimulationResult` — one per arrival plus one per replica advanced
+    on an internal event, identically whether the fleet finds its due replicas
+    with the event queue or a scan — so events-per-second is comparable
+    between the single-system and fleet loops.
     """
 
     fleet_name: str
@@ -221,11 +246,14 @@ def simulate_fleet(fleet, requests: list[Request], *,
             request = pending[arrival_index]
             arrival_index += 1
             fleet.submit(request, now)
+            events += 1
         else:
             fleet.advance_to(now)
+            # max() keeps the max_events runaway guard armed even if a buggy
+            # fleet reports a due event but advances no replica.
+            events += max(fleet.last_advance_count, 1)
         fleet.maybe_autoscale(now)
 
-        events += 1
         if events > max_events:
             raise SimulationError(f"fleet simulation exceeded {max_events} events")
 

@@ -14,7 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import WorkloadError
-from repro.kvcache.block import hash_chain, ROOT_HASH
+from repro.kvcache.block import GLOBAL_HASH_CHAIN_CACHE, ROOT_HASH, hash_chain
+from repro.perf import memo
+
+
+#: Memoized whole-sequence hash chains keyed on ``(block_size, segments)``.
+#: Workload generators build a fresh :class:`TokenSequence` per request even
+#: when the token content repeats (replays, retries, multi-point sweeps that
+#: regenerate the trace), so the per-instance cache alone still re-walks
+#: identical sequences; this table makes each distinct sequence hash once per
+#: process.  Cleared wholesale when full — residency is a speed concern only.
+_SEQUENCE_HASH_MEMO: dict[tuple, tuple[int, ...]] = {}
+_SEQUENCE_HASH_MEMO_MAX = 65_536
+memo.register_cache(_SEQUENCE_HASH_MEMO.clear)
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,15 @@ class TokenSequence:
         if cached is not None:
             return cached
 
+        interned = memo.memo_enabled()
+        memo_key = None
+        if interned:
+            memo_key = (block_size, self._segments)
+            shared = _SEQUENCE_HASH_MEMO.get(memo_key)
+            if shared is not None:
+                self._hash_cache[block_size] = shared
+                return shared
+
         hashes: list[int] = []
         parent = ROOT_HASH
         segment_index = 0
@@ -88,11 +109,21 @@ class TokenSequence:
                 if offset_in_segment == segment.length:
                     segment_index += 1
                     offset_in_segment = 0
-            parent = hash_chain(parent, tuple(pieces))
+            # The interned chain is bit-identical to hash_chain (it stores
+            # exactly hash((parent, content))); interning lets sequences that
+            # share a prefix reuse each other's per-block hashes.
+            if interned:
+                parent = GLOBAL_HASH_CHAIN_CACHE.chain(parent, tuple(pieces))
+            else:
+                parent = hash_chain(parent, tuple(pieces))
             hashes.append(parent)
 
         result = tuple(hashes)
         self._hash_cache[block_size] = result
+        if interned:
+            if len(_SEQUENCE_HASH_MEMO) >= _SEQUENCE_HASH_MEMO_MAX:
+                _SEQUENCE_HASH_MEMO.clear()
+            _SEQUENCE_HASH_MEMO[memo_key] = result
         return result
 
     def shared_prefix_tokens(self, other: "TokenSequence") -> int:
