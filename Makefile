@@ -16,7 +16,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Worker processes for the parallel experiment runner targets.
 PERF_WORKERS ?= 4
 #: Committed baseline the perf target compares against (see docs/PERFORMANCE.md).
-PERF_BASELINE ?= BENCH_pr4.json
+PERF_BASELINE ?= BENCH_pr5.json
 
 .PHONY: test bench bench-paper bench-tiers bench-sweep perf docs-check examples scenarios
 

@@ -20,7 +20,9 @@ organises the system:
 * ``repro.simulation`` — the discrete-event serving simulator, arrival
   processes, routing policies, and the config-driven scenario engine;
 * ``repro.cluster`` — the fleet layer: multi-replica serving with admission
-  control and reactive autoscaling;
+  control, reactive autoscaling, and the failure lifecycle;
+* ``repro.faults`` — deterministic fault injection: typed chaos schedules,
+  seeded MTBF/MTTR generation, resilience accounting;
 * ``repro.frontend`` — the in-process OpenAI-compatible request path;
 * ``repro.analysis`` — MIL analysis, QPS sweeps, and report formatting.
 
@@ -90,6 +92,12 @@ from repro.cluster import (
     QueueDepthAdmission,
     ReactiveAutoscaler,
     ReplicaSpec,
+)
+from repro.faults import (
+    FaultEvent,
+    FaultSchedule,
+    fault_schedule_from_dict,
+    generate_crash_schedule,
 )
 from repro.workloads import (
     CreditVerificationWorkload,
@@ -168,6 +176,11 @@ __all__ = [
     "ReplicaSpec",
     "QueueDepthAdmission",
     "ReactiveAutoscaler",
+    # fault injection
+    "FaultEvent",
+    "FaultSchedule",
+    "fault_schedule_from_dict",
+    "generate_crash_schedule",
     # workloads
     "CreditVerificationWorkload",
     "PostRecommendationWorkload",

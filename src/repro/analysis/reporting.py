@@ -91,7 +91,8 @@ def format_fleet_report(result) -> str:
 
     Returns:
         Latency summary, fleet summary, per-replica cache table, and — when
-        any occurred — the scale-event log, separated by blank lines.
+        any occurred — the scale-event log, tier report, and resilience
+        report, separated by blank lines.
     """
     sections = [
         format_table([result.summary.as_dict()],
@@ -116,6 +117,48 @@ def format_fleet_report(result) -> str:
         ))
     if getattr(result.fleet, "tiers", None) is not None:
         sections.append(format_tier_report(result.fleet.tiers))
+    if getattr(result.fleet, "resilience", None) is not None:
+        sections.append(format_resilience_report(result.fleet.resilience))
+    return "\n\n".join(sections)
+
+
+def format_resilience_report(resilience) -> str:
+    """Render a chaos run's fault/recovery accounting as plain-text tables.
+
+    Args:
+        resilience: A :class:`~repro.simulation.metrics.ResilienceSummary`
+            (duck-typed: anything with its counters, rates, and ``fault_log``
+            rows works).
+
+    Returns:
+        A goodput/SLO-under-failure summary line, a lost-work line, and the
+        per-event fault log (with per-fault detail, so MTTR and evacuation
+        sizes are visible per crash).
+    """
+    sections = [
+        format_table([{
+            "offered_rps": round(resilience.offered_rps, 3),
+            "goodput_rps": round(resilience.goodput_rps, 3),
+            "goodput_ratio": round(resilience.goodput_ratio, 3),
+            "num_faults": resilience.num_faults,
+            "num_crashes": resilience.num_crashes,
+            "num_recoveries": resilience.num_recoveries,
+            "mean_mttr_s": round(resilience.mean_mttr_s, 3),
+        }], title="Resilience: goodput under failure"),
+        format_table([{
+            "retried": resilience.num_retried,
+            "lost_in_flight": resilience.num_lost_in_flight,
+            "lost_work_tokens": resilience.lost_work_tokens,
+            "lost_kv_tokens": resilience.lost_kv_tokens,
+            "unserved": resilience.num_unserved,
+            "warm_restored_blocks": resilience.warm_restored_blocks,
+            "warm_restore_hit_rate": round(resilience.warm_restore_hit_rate, 3),
+        }], title="Resilience: lost work and recovery"),
+    ]
+    if resilience.fault_log:
+        sections.append(format_table(
+            list(resilience.fault_log), title="Fault log"
+        ))
     return "\n\n".join(sections)
 
 

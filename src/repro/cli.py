@@ -8,8 +8,8 @@ Subcommands map to the main things a user wants to do without writing code:
 * ``prefillonly compare``   — compare every engine at one offered QPS;
 * ``prefillonly workload``  — print a workload's Table 1 summary;
 * ``prefillonly fleet``     — simulate a multi-replica fleet (routing,
-  admission control, autoscaling, optional ``--tiers`` tiered prefix cache)
-  and print the fleet report;
+  admission control, autoscaling, optional ``--tiers`` tiered prefix cache,
+  optional ``--faults`` chaos schedule) and print the fleet report;
 * ``prefillonly scenario``  — the scenario engine: ``run`` / ``replay`` a
   config-file scenario (multi-tenant mixes, bursty/diurnal/flash-crowd/
   closed-loop arrivals, trace recording), run a whole ``suite`` directory of
@@ -24,13 +24,17 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.mil import mil_table
 from repro.analysis.reporting import format_fleet_report, format_scenario_report, format_table
 from repro.analysis.sweep import compare_engines, paper_qps_points, base_throughput, qps_sweep
 from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
+from repro.errors import FaultScheduleError
+from repro.faults import fault_schedule_from_dict
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
 from repro.kvcache.tiers import PROMOTION_POLICIES, TierConfig
 from repro.model.config import MODEL_REGISTRY, get_model
@@ -113,6 +117,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_schedule(path: str, *, default_replicas: int | None):
+    """Load a fault schedule from a JSON file for the ``fleet`` subcommand.
+
+    Accepts either the bare ``"faults"`` block or a wrapping object with a
+    ``"faults"`` key (so a scenario config's block can be reused verbatim).
+    """
+    file = Path(path)
+    if not file.exists():
+        raise FaultScheduleError(f"fault schedule file not found: {path}")
+    try:
+        config = json.loads(file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise FaultScheduleError(f"{path}: invalid JSON ({exc})") from None
+    if isinstance(config, dict) and "faults" in config:
+        config = config["faults"]
+    return fault_schedule_from_dict(config, default_replicas=default_replicas)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     spec = get_engine_spec(args.engine)
     setup = get_hardware_setup(args.setup)
@@ -149,12 +171,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         name=f"{args.engine}x{args.replicas or 'auto'}",
         tier_config=tier_config,
     )
+    faults = None
+    if args.faults is not None:
+        faults = _load_fault_schedule(args.faults, default_replicas=args.replicas)
     if args.qps is None:
         arrivals = BurstArrivalProcess(seed=args.seed)
     else:
         arrivals = PoissonArrivalProcess(rate=args.qps, seed=args.seed)
     requests = arrivals.assign(list(trace.requests))
-    result = simulate_fleet(fleet, requests)
+    result = simulate_fleet(fleet, requests, faults=faults)
     print(format_fleet_report(result))
     return 0
 
@@ -299,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="when a lower-tier hit is promoted into GPU memory")
     fleet_parser.add_argument("--no-tier-prefetch", action="store_true",
                               help="disable router-hint prefetch into the routed replica")
+    fleet_parser.add_argument("--faults", default=None, metavar="SCHEDULE",
+                              help="inject a chaos schedule from this JSON file "
+                                   "(a \"faults\" block; see docs/FAULTS.md)")
     fleet_parser.add_argument("--seed", type=int, default=0)
     fleet_parser.set_defaults(func=_cmd_fleet)
 

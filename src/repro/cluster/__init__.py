@@ -11,6 +11,13 @@ abstraction suitable for production-scale simulation:
 * :mod:`repro.cluster.autoscaler` — reactive autoscaling from observed
   arrival rate and P99 latency, with hysteresis and cooldown.
 
+The fleet also executes the failure lifecycle of the fault-injection
+subsystem (:mod:`repro.faults`): :meth:`Fleet.apply_fault` handles replica
+crashes (evacuate + re-route queued and in-flight work, drop the dead
+replica's caches), recovery (rebuild, warm-restore hot prefixes from the
+cluster-shared KV store), slow-node windows, interconnect brownouts, and
+cluster-store outages — see ``docs/FAULTS.md``.
+
 Routing policies live in :mod:`repro.simulation.routing` (the fleet accepts
 any :class:`~repro.simulation.routing.Router`, including the prefix-affinity
 router added for this layer), and the driving event loop is

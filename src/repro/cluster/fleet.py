@@ -34,7 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.engine import EngineInstance, EngineSpec, FinishedRequest, kv_block_bytes
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults import DEFAULT_WARM_RESTORE_BLOCKS, FaultEvent, ResilienceCounters
 from repro.hardware.cluster import HardwareSetup
 from repro.hardware.gpu import GPUSpec
 from repro.hardware.interconnect import Interconnect
@@ -66,13 +67,19 @@ class ReplicaSpec:
 
 @dataclass
 class _ReplicaState:
-    """Bookkeeping the fleet keeps per replica (live, draining, or retired)."""
+    """Bookkeeping the fleet keeps per replica (live, draining, retired, or crashed)."""
 
     instance: EngineInstance
     created_at: float
+    spec: ReplicaSpec | None = None
     key: int = 0
     retired_at: float | None = None
     draining: bool = False
+    #: Killed by a fault (crash ≠ drain: nothing finished, nothing flushed).
+    crashed: bool = False
+    #: Built by fault recovery — the replicas whose tier hits measure the
+    #: warm-restore hit rate.
+    recovered: bool = False
 
 
 @dataclass
@@ -155,6 +162,17 @@ class Fleet:
         #: :class:`repro.simulation.simulator.FleetSimulationResult`).
         self.last_advance_count = 0
         self.scale_events: list[ScaleEvent] = []
+        #: Fault/recovery counters (all zero until a fault is injected); see
+        #: :class:`repro.faults.ResilienceCounters`.
+        self.resilience = ResilienceCounters()
+        #: One dict row per delivered fault event, in delivery order.
+        self.fault_log: list[dict] = []
+        #: Request ids re-routed after a crash (per-tenant retry accounting).
+        self.retried_request_ids: list[int] = []
+        #: L3 -> L2 restore budget (blocks) applied on fault recovery; the
+        #: simulator overrides it from the schedule's ``warm_restore_blocks``.
+        self.warm_restore_blocks = DEFAULT_WARM_RESTORE_BLOCKS
+        self._brownout = 1.0
         self._shed: list[FinishedRequest] = []
         self._replica_seq = 0
         self._events: EventQueue | None = EventQueue() if use_event_queue else None
@@ -164,6 +182,15 @@ class Fleet:
         ]
         self._draining: list[_ReplicaState] = []
         self._retired: list[_ReplicaState] = []
+        self._crashed: list[_ReplicaState] = []
+        #: Logical fault-target id -> current replica key.  Fault events
+        #: address replicas by the *logical* slot (initially the build index),
+        #: so a crash/recover/crash cycle keeps targeting the same slot even
+        #: though recovery builds a fresh instance under a new key.
+        self._fault_targets: dict[int, int] = {
+            index: index for index in range(len(self._active))
+        }
+        self._crash_times: dict[int, float] = {}
         self.router: Router = (
             router if router is not None else UserIdRouter(len(self._active))
         )
@@ -216,7 +243,11 @@ class Fleet:
             tier_config=self.tier_config,
             cluster_store=self.cluster_store,
         )
-        state = _ReplicaState(instance=instance, created_at=now, key=index)
+        state = _ReplicaState(instance=instance, created_at=now, spec=spec, key=index)
+        if self._brownout != 1.0:
+            # A replica built mid-brownout (autoscale or fault recovery)
+            # suffers the degraded interconnect like everyone else.
+            instance.kv.set_transfer_cost_multiplier(self._brownout)
         self._states_by_key[index] = state
         self._refresh_event(state)
         return state
@@ -256,6 +287,14 @@ class Fleet:
     def _all_serving(self) -> list[_ReplicaState]:
         return self._active + self._draining
 
+    def _all_states(self) -> list[_ReplicaState]:
+        """Every replica the fleet ever ran, for results collection.
+
+        Serving first, then retired, then crashed — with no faults the
+        crashed list is empty and the order is exactly the seed's.
+        """
+        return self._all_serving() + self._retired + self._crashed
+
     def _sync_router(self) -> None:
         self.router.observe_instances(self.replicas)
 
@@ -265,11 +304,31 @@ class Fleet:
         """Admit, route, and submit one request.
 
         Returns the replica the request landed on, or ``None`` when admission
-        control shed it (a rejection record is kept either way).
+        control shed it (a rejection record is kept either way).  A request
+        arriving while every replica is crashed is unserved: it is recorded
+        as shed (the resilience summary counts it separately) — production
+        has nowhere to park a request when the whole fleet is down.
         """
         self.stats.num_submitted += 1
         if self.autoscaler is not None:
             self.autoscaler.observe_arrival(now)
+        if not self._active:
+            self._record_unserved(request, now, arrival_time=now)
+            return None
+        state = self._admit_and_route(request, now, arrival_time=now,
+                                      shed_reason_prefix="")
+        if state is None:
+            return None
+        return self._dispatch(request, state, enqueue_time=now, now=now)
+
+    def _admit_and_route(self, request: Request, now: float, *,
+                         arrival_time: float,
+                         shed_reason_prefix: str) -> _ReplicaState | None:
+        """Admission + routing shared by :meth:`submit` and :meth:`_resubmit`.
+
+        Returns the target replica, or None when admission shed the request
+        (the rejection record is kept, stamped with ``arrival_time``).
+        """
         if self.admission is not None or self.router.needs_queue_depths:
             depths = self.queue_depths()
         else:
@@ -278,22 +337,16 @@ class Fleet:
             decision = self.admission.admit(request, depths, now)
             if not decision.admitted:
                 self.stats.num_shed += 1
-                self._shed.append(FinishedRequest(
-                    request_id=request.request_id,
-                    user_id=request.user_id,
-                    num_tokens=request.num_tokens,
-                    cached_tokens=0,
-                    arrival_time=now,
-                    start_time=now,
-                    finish_time=now,
-                    instance_name=self.name,
-                    engine_name=self.name,
-                    rejected=True,
-                    rejection_reason=decision.reason,
+                self._shed.append(self._rejection_record(
+                    request, arrival_time=arrival_time, now=now,
+                    reason=f"{shed_reason_prefix}{decision.reason}",
                 ))
                 return None
-        index = self.router.route(request, depths)
-        state = self._active[index]
+        return self._active[self.router.route(request, depths)]
+
+    def _dispatch(self, request: Request, state: _ReplicaState, *,
+                  enqueue_time: float, now: float) -> EngineInstance:
+        """Hand a routed request to its replica and advance that replica."""
         if self.tier_config is not None and self.tier_config.prefetch:
             # Router-hint prefetch: the routing decision is the hint that the
             # target replica is about to need this prefix — warm its L1 with
@@ -302,11 +355,28 @@ class Fleet:
             state.instance.kv.prefetch_tiers(
                 request.block_hashes(state.instance.spec.kv_block_size), now=now
             )
-        state.instance.submit(request, now)
+        state.instance.submit(request, enqueue_time)
         self.stats.num_routed += 1
         self._observe(state.instance.advance_to(now))
         self._refresh_event(state)
         return state.instance
+
+    def _rejection_record(self, request: Request, *, arrival_time: float,
+                          now: float, reason: str) -> FinishedRequest:
+        """Build the fleet-level rejection record for a shed request."""
+        return FinishedRequest(
+            request_id=request.request_id,
+            user_id=request.user_id,
+            num_tokens=request.num_tokens,
+            cached_tokens=0,
+            arrival_time=arrival_time,
+            start_time=now,
+            finish_time=now,
+            instance_name=self.name,
+            engine_name=self.name,
+            rejected=True,
+            rejection_reason=reason,
+        )
 
     def next_event_time(self) -> float | None:
         """Earliest internal event across routable and draining replicas."""
@@ -433,19 +503,236 @@ class Fleet:
             return
         state.instance.kv.drain()
 
+    # --------------------------------------------------------------- faults
+
+    def apply_fault(self, event: FaultEvent, now: float) -> bool:
+        """Deliver one :class:`~repro.faults.FaultEvent` to the fleet.
+
+        Called by :func:`repro.simulation.simulator.simulate_fleet` when the
+        schedule's next event wins the event merge.  Events whose target
+        cannot be acted on (an already-crashed replica, an L3 outage without
+        a cluster store) are skipped, not errors — a chaos schedule is
+        generated against a nominal fleet and the real one may have drifted.
+        Every delivery is appended to :attr:`fault_log`; returns whether the
+        event was applied.
+        """
+        kind = event.kind
+        if kind == "crash":
+            applied, detail = self._fault_crash(event.replica, now)
+        elif kind == "recover":
+            applied, detail = self._fault_recover(event.replica, now)
+        elif kind in ("slow", "slow-end"):
+            applied, detail = self._fault_slow(
+                event.replica, event.multiplier if kind == "slow" else 1.0
+            )
+            if applied and kind == "slow":
+                self.resilience.num_slow_events += 1
+        elif kind in ("brownout", "brownout-end"):
+            self._set_brownout(event.multiplier if kind == "brownout" else 1.0)
+            applied, detail = True, f"transfer-cost multiplier {self._brownout:g}"
+            if kind == "brownout":
+                self.resilience.num_brownouts += 1
+        elif kind in ("outage", "outage-end"):
+            if self.cluster_store is None:
+                applied, detail = False, "fleet has no cluster store"
+            else:
+                self.cluster_store.set_available(kind == "outage-end")
+                applied, detail = True, (
+                    "cluster store unreachable" if kind == "outage"
+                    else "cluster store restored"
+                )
+                if kind == "outage":
+                    self.resilience.num_outages += 1
+        else:
+            raise SimulationError(f"unknown fault event kind {kind!r}")
+        if applied:
+            self.resilience.num_faults_applied += 1
+        else:
+            self.resilience.num_faults_skipped += 1
+        self.fault_log.append({
+            "time_s": round(now, 3),
+            "kind": kind,
+            "replica": event.replica if event.replica is not None else "-",
+            "applied": applied,
+            "detail": detail,
+        })
+        return applied
+
+    def _fault_state(self, logical: int | None) -> _ReplicaState | None:
+        """Resolve a logical fault target to its current replica state."""
+        if logical is None:
+            return None
+        key = self._fault_targets.get(logical, logical)
+        return self._states_by_key.get(key)
+
+    def _fault_crash(self, logical: int | None, now: float) -> tuple[bool, str]:
+        """Kill a replica: drop its caches, evacuate and re-route its work."""
+        state = self._fault_state(logical)
+        if state is None or state not in self._active:
+            return False, "replica not active"
+        self._active.remove(state)
+        if self._events is not None:
+            self._events.discard(state.key)
+        state.crashed = True
+        state.retired_at = now
+        self._crashed.append(state)
+        # Lost-KV accounting: the GPU radix tree and the node's host store die
+        # with the machine.  Only blocks already resident in the fleet-shared
+        # cluster store survive — crash ≠ drain, nothing is flushed.
+        cache = state.instance.kv.stats()
+        lost_kv = state.instance.kv.num_cached_tokens
+        if cache.offload_stats is not None:
+            lost_kv += cache.offload_stats["current_blocks"] * state.instance.spec.kv_block_size
+        evacuated, in_flight, lost_work = state.instance.crash(now)
+        self.resilience.num_crashes += 1
+        self.resilience.lost_kv_tokens += lost_kv
+        self.resilience.num_lost_in_flight += in_flight
+        self.resilience.lost_work_tokens += lost_work
+        self._crash_times[logical] = now
+        if self._active:
+            self.router.resize(len(self._active))
+            self._sync_router()
+        for request in evacuated:
+            self._resubmit(request, now)
+        return True, (
+            f"evacuated {len(evacuated)} request(s) "
+            f"({in_flight} in flight), lost {lost_kv} cached token(s)"
+        )
+
+    def _fault_recover(self, logical: int | None, now: float) -> tuple[bool, str]:
+        """Rebuild a crashed replica and warm-restore its hot prefixes."""
+        state = self._fault_state(logical)
+        if state is None or not state.crashed:
+            return False, "replica not crashed"
+        new_state = self._build_replica(state.spec, now=now)
+        new_state.recovered = True
+        state.crashed = False  # repaired; a later crash targets the new instance
+        self._active.append(new_state)
+        self._fault_targets[logical] = new_state.key
+        self.router.resize(len(self._active))
+        self._sync_router()
+        self.stats.peak_replicas = max(self.stats.peak_replicas, len(self._active))
+        self.resilience.num_recoveries += 1
+        crash_time = self._crash_times.pop(logical, None)
+        if crash_time is not None:
+            self.resilience.mttr_samples.append(now - crash_time)
+        restored = self._warm_restore(new_state)
+        self.resilience.warm_restored_blocks += restored
+        return True, (
+            f"rebuilt as {new_state.instance.name!r}, "
+            f"warm-restored {restored} block(s)"
+        )
+
+    def _fault_slow(self, logical: int | None, multiplier: float) -> tuple[bool, str]:
+        # Draining replicas are still executing work, so a degradation window
+        # applies (and, crucially, *ends*) on them too — a replica that starts
+        # draining mid-window must not keep the multiplier forever.
+        state = self._fault_state(logical)
+        if state is None or state not in self._all_serving():
+            return False, "replica not serving"
+        state.instance.slowdown = multiplier
+        return True, f"service-time multiplier {multiplier:g}"
+
+    def _set_brownout(self, multiplier: float) -> None:
+        self._brownout = multiplier
+        if self.cluster_store is not None:
+            self.cluster_store.cost_multiplier = multiplier
+        for state in self._all_serving():
+            state.instance.kv.set_transfer_cost_multiplier(multiplier)
+
+    def _warm_restore(self, state: _ReplicaState) -> int:
+        """Stage the cluster store's hottest blocks into a rebuilt replica's L2."""
+        if self.cluster_store is None or self.warm_restore_blocks <= 0:
+            return 0
+        tiers = state.instance.kv.tiers
+        if tiers is None:
+            return 0
+        resident = self.cluster_store.resident_hashes()  # LRU order, [] in outage
+        hottest = resident[-self.warm_restore_blocks:]
+        return tiers.warm_restore(hottest)
+
+    def _record_unserved(self, request: Request, now: float, *,
+                         arrival_time: float) -> None:
+        self.resilience.num_unserved += 1
+        self.stats.num_shed += 1
+        self._shed.append(self._rejection_record(
+            request, arrival_time=arrival_time, now=now,
+            reason="no active replicas (fleet-wide crash)",
+        ))
+
+    def _resubmit(self, request: Request, now: float) -> EngineInstance | None:
+        """Re-route one evacuated request after its replica crashed.
+
+        Mirrors :meth:`submit` — admission control and the router both get a
+        say, so a retry storm can legitimately be shed — but does not count
+        as new offered load (no arrival observation, no ``num_submitted``).
+        The request re-enqueues (and any shed/unserved record is stamped)
+        with its *original* arrival time, so its eventual latency honestly
+        spans the crash it survived.
+        """
+        self.resilience.num_retried += 1
+        self.retried_request_ids.append(request.request_id)
+        if not self._active:
+            self._record_unserved(request, now, arrival_time=request.arrival_time)
+            return None
+        state = self._admit_and_route(request, now,
+                                      arrival_time=request.arrival_time,
+                                      shed_reason_prefix="retry shed: ")
+        if state is None:
+            return None
+        return self._dispatch(request, state,
+                              enqueue_time=request.arrival_time, now=now)
+
+    def resilience_summary(self, summary):
+        """Summarise fault/recovery accounting for the whole run.
+
+        Args:
+            summary: The run's :class:`~repro.simulation.metrics.LatencySummary`
+                (supplies the makespan and completion count goodput is
+                measured against).
+
+        Returns a :class:`~repro.simulation.metrics.ResilienceSummary`.  The
+        warm-restore hit rate is measured over the replicas fault recovery
+        built: the fraction of their input tokens served from the host or
+        cluster tiers instead of being recomputed cold.
+        """
+        from repro.simulation.metrics import summarize_resilience
+
+        warm_hit_tokens = 0
+        warm_total_tokens = 0
+        for state in self._all_states():
+            if not state.recovered:
+                continue
+            cache = state.instance.kv.stats()
+            warm_total_tokens += cache.tokens_total
+            if cache.tier_stats is not None:
+                warm_hit_tokens += (
+                    cache.tier_stats["tokens_hit_host"]
+                    + cache.tier_stats["tokens_hit_cluster"]
+                )
+        return summarize_resilience(
+            self.resilience,
+            fault_log=tuple(self.fault_log),
+            num_submitted=self.stats.num_submitted,
+            num_finished=summary.num_requests,
+            makespan=summary.makespan,
+            warm_hit_tokens=warm_hit_tokens,
+            warm_total_tokens=warm_total_tokens,
+        )
+
     # -------------------------------------------------------------- results
 
     def finished_requests(self) -> list[FinishedRequest]:
         """Completion records across every replica the fleet ever ran."""
         records: list[FinishedRequest] = []
-        for state in self._all_serving() + self._retired:
+        for state in self._all_states():
             records.extend(state.instance.finished_requests)
         return records
 
     def rejected_requests(self) -> list[FinishedRequest]:
         """Engine-level rejections plus admission-control sheds."""
         records: list[FinishedRequest] = []
-        for state in self._all_serving() + self._retired:
+        for state in self._all_states():
             records.extend(state.instance.rejected_requests)
         records.extend(self._shed)
         return records
@@ -457,7 +744,7 @@ class Fleet:
     def cache_stats(self) -> list[dict]:
         """Per-replica prefix-cache statistics (including retired replicas)."""
         stats = []
-        for state in self._all_serving() + self._retired:
+        for state in self._all_states():
             cache = state.instance.kv.stats()
             entry = {
                 "instance": state.instance.name,
@@ -488,7 +775,7 @@ class Fleet:
 
         cache_stats = [
             state.instance.kv.stats()
-            for state in self._all_serving() + self._retired
+            for state in self._all_states()
         ]
         cluster_stats = (
             self.cluster_store.stats if self.cluster_store is not None else None
@@ -503,7 +790,7 @@ class Fleet:
                 replica's active window).
         """
         reports: list[dict] = []
-        for state in self._all_serving() + self._retired:
+        for state in self._all_states():
             until = state.retired_at if state.retired_at is not None else end_time
             active_seconds = max(until - state.created_at, 0.0)
             cache = state.instance.kv.stats()

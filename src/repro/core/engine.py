@@ -325,6 +325,10 @@ class EngineInstance:
         self._finished: list[FinishedRequest] = []
         self._rejected: list[FinishedRequest] = []
         self._submitted = 0
+        #: Service-time multiplier applied to work *started* while it is set.
+        #: 1.0 (the default) is a bit-exact no-op; the fault subsystem raises
+        #: it to model a degraded (slow) node.
+        self.slowdown: float = 1.0
 
     # ---------------------------------------------------------------- state
 
@@ -409,7 +413,7 @@ class EngineInstance:
             pipeline_parallel=self.spec.pipeline_parallel,
         )
         stages = self.spec.pipeline_parallel
-        return [timing.total / stages] * stages
+        return [timing.total / stages * self.slowdown] * stages
 
     def _try_start_next(self, now: float) -> bool:
         """Admit one waiting request into stage 0 if possible."""
@@ -555,6 +559,37 @@ class EngineInstance:
             if self._try_start_next(now):
                 progressed = True
         return finished
+
+    def crash(self, now: float) -> tuple[list[Request], int, int]:
+        """Kill the instance: drop all queued and in-flight work immediately.
+
+        Unlike a drain, nothing completes and nothing is flushed — the fault
+        subsystem's replica-crash semantics.  In-flight partial compute is
+        discarded (those requests must restart from scratch elsewhere) and
+        the waiting queue empties; the owning fleet re-routes the evacuated
+        requests.  Completion records of requests that finished *before* the
+        crash are preserved.
+
+        Returns ``(evacuated requests, in-flight count, lost work tokens)``
+        where the evacuated list is ordered oldest-first (in-flight work in
+        reverse stage order, then the waiting queue in arrival order) and
+        lost work counts the in-flight requests' tokens whose partial
+        forward passes died with the node.
+        """
+        evacuated: list[Request] = []
+        lost_work = 0
+        in_flight = 0
+        for stage in reversed(self._stages):
+            job = stage.job
+            if job is None:
+                continue
+            evacuated.append(job.engine_request.request)
+            lost_work += job.engine_request.num_tokens
+            in_flight += 1
+            stage.job = None
+        evacuated.extend(request.request for request in self._waiting)
+        self._waiting.clear()
+        return evacuated, in_flight, lost_work
 
     def drain_until(self, limit: float = math.inf) -> list[FinishedRequest]:
         """Run the instance to completion (no new arrivals), up to ``limit`` seconds.

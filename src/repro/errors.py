@@ -115,6 +115,42 @@ class UnknownTierError(UnknownNameError, TierError):
         self.args = (f"{path}: {self.args[0]}",)
 
 
+class FaultError(ReproError):
+    """A fault-injection configuration or operation is invalid."""
+
+
+class UnknownFaultError(UnknownNameError, FaultError):
+    """A fault config used a fault kind that does not exist.
+
+    Subclasses :class:`FaultError` as well, so ``except FaultError`` handlers
+    catch configuration typos alongside schedule problems.
+
+    Attributes:
+        path: Dotted JSON path of the offending key
+            (``"faults.events[2].kind"``), so scenario-config errors point at
+            the exact config location.
+    """
+
+    def __init__(self, name: str, available: list[str] | tuple[str, ...], *,
+                 path: str = "faults.events") -> None:
+        self.path = path
+        super().__init__("fault kind", name, available)
+        # UnknownNameError fixes args in __init__; re-raise with the path prefixed.
+        self.args = (f"{path}: {self.args[0]}",)
+
+
+class FaultScheduleError(FaultError):
+    """A fault schedule is malformed (bad keys, times, targets, or magnitudes).
+
+    Attributes:
+        path: Dotted JSON path of the offending config value.
+    """
+
+    def __init__(self, message: str, *, path: str = "faults") -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
 class TierCapacityError(TierError):
     """A tier was configured with an invalid capacity.
 

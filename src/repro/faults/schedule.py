@@ -1,0 +1,407 @@
+"""Deterministic fault schedules: typed chaos events on a simulated timeline.
+
+A :class:`FaultSchedule` is a time-ordered list of :class:`FaultEvent`\\ s that
+:func:`repro.simulation.simulator.simulate_fleet` merges into its event loop
+(through the same :class:`~repro.simulation.events.EventQueue` machinery the
+replicas use) and delivers to :meth:`repro.cluster.fleet.Fleet.apply_fault`.
+Schedules come from two places, both fully deterministic:
+
+* a declarative JSON ``"faults"`` block (:func:`fault_schedule_from_dict`) —
+  every event names its kind, target, time, and magnitude explicitly;
+* a seeded generator (:func:`generate_crash_schedule`) — per-replica
+  crash/recover processes with exponential MTBF and MTTR, drawn from
+  ``numpy``'s ``default_rng`` seeded per ``(seed, replica)`` so each
+  replica's fault stream is independent of every other's draw count.
+
+Config block shape (JSON)::
+
+    "faults": {
+      "enabled": true,
+      "warm_restore_blocks": 256,        // L3 -> L2 restore budget on rejoin
+      "events": [
+        {"kind": "crash",    "replica": 0, "at": 120.0, "recover_at": 200.0},
+        {"kind": "recover",  "replica": 2, "at": 340.0},
+        {"kind": "slow",     "replica": 1, "at": 60.0,  "duration": 30.0,
+         "multiplier": 2.5},             // service-time multiplier
+        {"kind": "brownout", "at": 100.0, "duration": 50.0,
+         "multiplier": 4.0},             // tier transfer-cost multiplier
+        {"kind": "outage",   "at": 300.0, "duration": 60.0}   // L3 store down
+      ],
+      "generate": {                      // seeded crash/recover processes
+        "mtbf_s": 300.0, "mttr_s": 45.0, "horizon_s": 900.0,
+        "seed": 7, "replicas": 4         // replicas defaults to the scenario's
+      }
+    }
+
+The determinism contract (pinned by tests): the same config always compiles
+to the same event list; a chaos run with a fixed scenario seed is
+bit-reproducible across processes; and a schedule that is absent, disabled,
+or empty leaves every simulation result byte-identical to a run without the
+subsystem.
+
+Unknown kinds fail with :class:`~repro.errors.UnknownFaultError` (listing the
+valid kinds and the JSON path of the typo); any other malformed key, time,
+target, or magnitude fails with :class:`~repro.errors.FaultScheduleError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FaultScheduleError, UnknownFaultError
+
+__all__ = [
+    "FAULT_KINDS",
+    "DEFAULT_WARM_RESTORE_BLOCKS",
+    "FaultEvent",
+    "FaultSchedule",
+    "ResilienceCounters",
+    "fault_schedule_from_dict",
+    "generate_crash_schedule",
+]
+
+#: The fault kinds a config's ``events`` list may use.  The windowed kinds
+#: (``slow`` / ``brownout`` / ``outage``) compile into a start and a paired
+#: ``*-end`` event at ``at + duration``.
+FAULT_KINDS = ("crash", "recover", "slow", "brownout", "outage")
+
+#: Default L3 -> L2 warm-restore budget (blocks) applied on replica rejoin.
+DEFAULT_WARM_RESTORE_BLOCKS = 256
+
+_EVENT_KEYS = {
+    "crash": {"kind", "replica", "at", "recover_at"},
+    "recover": {"kind", "replica", "at"},
+    "slow": {"kind", "replica", "at", "duration", "multiplier"},
+    "brownout": {"kind", "at", "duration", "multiplier"},
+    "outage": {"kind", "at", "duration"},
+}
+_CONFIG_KEYS = {"enabled", "events", "generate", "warm_restore_blocks"}
+_GENERATE_KEYS = {"mtbf_s", "mttr_s", "horizon_s", "seed", "replicas"}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One primitive fault delivered to the fleet at a simulated time.
+
+    Attributes:
+        time: Simulated delivery time (seconds).
+        kind: Primitive kind — one of :data:`FAULT_KINDS` plus the compiled
+            window closers ``slow-end`` / ``brownout-end`` / ``outage-end``.
+        replica: Logical replica id the event targets (crash / recover /
+            slow); ``None`` for fleet-wide events (brownout / outage).
+        multiplier: Magnitude of ``slow`` (service-time multiplier) and
+            ``brownout`` (tier transfer-cost multiplier) events.
+        seq: Position in the compiled schedule — the tie-break that makes
+            equal-time events fire in a fixed, documented order.
+    """
+
+    time: float
+    kind: str
+    replica: int | None = None
+    multiplier: float = 1.0
+    seq: int = 0
+
+
+class FaultSchedule:
+    """A compiled, time-ordered fault schedule.
+
+    Args:
+        events: The primitive events, in any order; compiled to a tuple
+            sorted by ``(time, window-closers first, insertion order)`` with
+            ``seq`` rewritten to the sorted position.  Closing a window
+            before opening the next at the same instant makes abutting
+            windows (one ending exactly when another starts) behave
+            correctly regardless of config order; overlapping same-kind
+            windows are rejected at config-parse time
+            (:func:`fault_schedule_from_dict`) because an inner window's
+            close would silently cancel the outer one.
+        enabled: Master switch.  A disabled schedule injects nothing and the
+            simulator treats it exactly like ``faults=None``.
+        warm_restore_blocks: How many of the cluster store's hottest blocks
+            a recovering replica stages into its host tier on rejoin
+            (0 disables warm restore; tiering must be on for it to matter).
+    """
+
+    def __init__(self, events, *, enabled: bool = True,
+                 warm_restore_blocks: int = DEFAULT_WARM_RESTORE_BLOCKS) -> None:
+        if warm_restore_blocks < 0:
+            raise FaultScheduleError(
+                f"warm_restore_blocks must be non-negative, got {warm_restore_blocks}",
+                path="faults.warm_restore_blocks",
+            )
+        ordered = sorted(
+            enumerate(events),
+            key=lambda pair: (
+                pair[1].time, 0 if pair[1].kind.endswith("-end") else 1, pair[0]
+            ),
+        )
+        self.events: tuple[FaultEvent, ...] = tuple(
+            FaultEvent(time=event.time, kind=event.kind, replica=event.replica,
+                       multiplier=event.multiplier, seq=seq)
+            for seq, (_, event) in enumerate(ordered)
+        )
+        self.enabled = enabled
+        self.warm_restore_blocks = warm_restore_blocks
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def active(self) -> bool:
+        """True when the schedule will actually inject something."""
+        return self.enabled and bool(self.events)
+
+
+@dataclass
+class ResilienceCounters:
+    """Mutable fault/recovery bookkeeping a :class:`~repro.cluster.Fleet` keeps.
+
+    Summarised into a frozen
+    :class:`~repro.simulation.metrics.ResilienceSummary` at the end of a run;
+    all zeros (and therefore invisible) when no fault was ever injected.
+    """
+
+    num_faults_applied: int = 0
+    num_faults_skipped: int = 0
+    num_crashes: int = 0
+    num_recoveries: int = 0
+    num_slow_events: int = 0
+    num_brownouts: int = 0
+    num_outages: int = 0
+    num_retried: int = 0
+    num_lost_in_flight: int = 0
+    lost_work_tokens: int = 0
+    lost_kv_tokens: int = 0
+    num_unserved: int = 0
+    warm_restored_blocks: int = 0
+    #: Crash-to-recover durations of every completed repair, in event order.
+    mttr_samples: list[float] = field(default_factory=list)
+
+
+def _require_number(entry: dict, key: str, *, path: str, minimum: float = 0.0,
+                    strict: bool = False) -> float:
+    if key not in entry:
+        raise FaultScheduleError(f"missing required key {key!r}", path=path)
+    value = entry[key]
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise FaultScheduleError(
+            f"{key} must be a number, got {value!r}", path=f"{path}.{key}"
+        )
+    value = float(value)
+    if value < minimum or (strict and value <= minimum):
+        bound = "greater than" if strict else "at least"
+        raise FaultScheduleError(
+            f"{key} must be {bound} {minimum:g}, got {value:g}",
+            path=f"{path}.{key}",
+        )
+    return value
+
+
+def _require_replica(entry: dict, *, path: str) -> int:
+    if "replica" not in entry:
+        raise FaultScheduleError("missing required key 'replica'", path=path)
+    replica = entry["replica"]
+    if not isinstance(replica, int) or isinstance(replica, bool) or replica < 0:
+        raise FaultScheduleError(
+            f"replica must be a non-negative integer, got {replica!r}",
+            path=f"{path}.replica",
+        )
+    return replica
+
+
+def _compile_entry(entry: dict, *, index: int, path: str) -> list[FaultEvent]:
+    entry_path = f"{path}.events[{index}]"
+    if not isinstance(entry, dict):
+        raise FaultScheduleError(
+            f"expected a JSON object, got {type(entry).__name__}", path=entry_path
+        )
+    kind = entry.get("kind")
+    if kind not in _EVENT_KEYS:
+        raise UnknownFaultError(str(kind), FAULT_KINDS, path=f"{entry_path}.kind")
+    unknown = set(entry) - _EVENT_KEYS[kind]
+    if unknown:
+        raise FaultScheduleError(
+            f"unknown keys {sorted(unknown)} for kind {kind!r}", path=entry_path
+        )
+    at = _require_number(entry, "at", path=entry_path)
+
+    if kind == "crash":
+        replica = _require_replica(entry, path=entry_path)
+        events = [FaultEvent(time=at, kind="crash", replica=replica)]
+        if "recover_at" in entry:
+            recover_at = _require_number(entry, "recover_at", path=entry_path)
+            if recover_at <= at:
+                raise FaultScheduleError(
+                    f"recover_at ({recover_at:g}) must be after at ({at:g})",
+                    path=f"{entry_path}.recover_at",
+                )
+            events.append(FaultEvent(time=recover_at, kind="recover", replica=replica))
+        return events
+    if kind == "recover":
+        replica = _require_replica(entry, path=entry_path)
+        return [FaultEvent(time=at, kind="recover", replica=replica)]
+
+    duration = _require_number(entry, "duration", path=entry_path, strict=True)
+    if kind == "slow":
+        replica = _require_replica(entry, path=entry_path)
+        multiplier = _require_number(
+            {"multiplier": entry.get("multiplier", 2.0)}, "multiplier",
+            path=entry_path, strict=True,
+        )
+        return [
+            FaultEvent(time=at, kind="slow", replica=replica, multiplier=multiplier),
+            FaultEvent(time=at + duration, kind="slow-end", replica=replica),
+        ]
+    if kind == "brownout":
+        multiplier = _require_number(
+            {"multiplier": entry.get("multiplier", 4.0)}, "multiplier",
+            path=entry_path, strict=True,
+        )
+        return [
+            FaultEvent(time=at, kind="brownout", multiplier=multiplier),
+            FaultEvent(time=at + duration, kind="brownout-end"),
+        ]
+    return [
+        FaultEvent(time=at, kind="outage"),
+        FaultEvent(time=at + duration, kind="outage-end"),
+    ]
+
+
+def generate_crash_schedule(*, num_replicas: int, mtbf_s: float, mttr_s: float,
+                            horizon_s: float, seed: int = 0,
+                            warm_restore_blocks: int = DEFAULT_WARM_RESTORE_BLOCKS,
+                            ) -> FaultSchedule:
+    """Seeded per-replica crash/recover processes with exponential MTBF/MTTR.
+
+    Each replica draws its own stream from ``default_rng([seed, replica])``,
+    so one replica's fault count never perturbs another's timeline and the
+    whole schedule is a pure function of its arguments.  Crashes whose repair
+    would land past ``horizon_s`` stay down for the rest of the run.
+    """
+    if num_replicas < 1:
+        raise FaultScheduleError(
+            f"generate needs at least one replica, got {num_replicas}",
+            path="faults.generate.replicas",
+        )
+    if mtbf_s <= 0 or mttr_s <= 0 or horizon_s <= 0:
+        raise FaultScheduleError(
+            "mtbf_s, mttr_s, and horizon_s must all be positive",
+            path="faults.generate",
+        )
+    events: list[FaultEvent] = []
+    for replica in range(num_replicas):
+        rng = np.random.default_rng([seed, replica])
+        clock = float(rng.exponential(mtbf_s))
+        while clock < horizon_s:
+            events.append(FaultEvent(time=clock, kind="crash", replica=replica))
+            repaired = clock + float(rng.exponential(mttr_s))
+            if repaired >= horizon_s:
+                break
+            events.append(FaultEvent(time=repaired, kind="recover", replica=replica))
+            clock = repaired + float(rng.exponential(mtbf_s))
+    return FaultSchedule(events, warm_restore_blocks=warm_restore_blocks)
+
+
+def fault_schedule_from_dict(config: dict, *, path: str = "faults",
+                             default_replicas: int | None = None) -> FaultSchedule:
+    """Parse a ``"faults"`` JSON block into a :class:`FaultSchedule`.
+
+    Args:
+        config: The decoded JSON object (see the module docstring for the
+            shape).  ``events`` and ``generate`` compose: generated
+            crash/recover processes merge with the explicit event list.
+        path: Dotted path of the block inside the surrounding document, used
+            to point error messages at the offending key.
+        default_replicas: Replica count ``generate`` falls back to when it
+            does not name its own (the scenario engine passes the scenario's).
+
+    Raises:
+        UnknownFaultError: if an event uses a kind that does not exist (the
+            message lists the valid kinds).
+        FaultScheduleError: on any other malformed key, time, target, or
+            magnitude.
+    """
+    if not isinstance(config, dict):
+        raise FaultScheduleError(
+            f"expected a JSON object, got {type(config).__name__}", path=path
+        )
+    unknown = set(config) - _CONFIG_KEYS
+    if unknown:
+        raise FaultScheduleError(f"unknown keys {sorted(unknown)}", path=path)
+    enabled = bool(config.get("enabled", True))
+    warm_restore_blocks = config.get("warm_restore_blocks", DEFAULT_WARM_RESTORE_BLOCKS)
+    if not isinstance(warm_restore_blocks, int) or isinstance(warm_restore_blocks, bool):
+        raise FaultScheduleError(
+            f"warm_restore_blocks must be an integer, got {warm_restore_blocks!r}",
+            path=f"{path}.warm_restore_blocks",
+        )
+
+    entries = config.get("events", [])
+    if not isinstance(entries, list):
+        raise FaultScheduleError("events must be a JSON array", path=f"{path}.events")
+    events: list[FaultEvent] = []
+    windows: dict[tuple, list[tuple[float, float, int]]] = {}
+    for index, entry in enumerate(entries):
+        compiled = _compile_entry(entry, index=index, path=path)
+        events.extend(compiled)
+        if len(compiled) == 2 and compiled[1].kind.endswith("-end"):
+            start, end = compiled
+            windows.setdefault((start.kind, start.replica), []).append(
+                (start.time, end.time, index)
+            )
+    # Same-kind windows (same replica for "slow") must not overlap: the
+    # earlier window's end event would silently cancel the later window.
+    # Abutting windows (one ending exactly when the next starts) are fine —
+    # the schedule fires window closers before openers at equal times.
+    for (kind, replica), spans in windows.items():
+        spans.sort()
+        for (s1, e1, i1), (s2, _, i2) in zip(spans, spans[1:]):
+            if s2 < e1:
+                target = f" on replica {replica}" if replica is not None else ""
+                raise FaultScheduleError(
+                    f"overlapping {kind!r} windows{target}: events[{i1}] covers "
+                    f"[{s1:g}, {e1:g}) and events[{i2}] starts at {s2:g} — "
+                    "the first window's end would cancel the second",
+                    path=f"{path}.events",
+                )
+
+    if "generate" in config:
+        generate = config["generate"]
+        if not isinstance(generate, dict):
+            raise FaultScheduleError(
+                "generate must be a JSON object", path=f"{path}.generate"
+            )
+        unknown = set(generate) - _GENERATE_KEYS
+        if unknown:
+            raise FaultScheduleError(
+                f"unknown keys {sorted(unknown)}", path=f"{path}.generate"
+            )
+        replicas = generate.get("replicas", default_replicas)
+        if replicas is None:
+            raise FaultScheduleError(
+                "generate needs 'replicas' (or a surrounding scenario that "
+                "sets a replica count)", path=f"{path}.generate.replicas",
+            )
+        if not isinstance(replicas, int) or isinstance(replicas, bool):
+            raise FaultScheduleError(
+                f"replicas must be an integer, got {replicas!r}",
+                path=f"{path}.generate.replicas",
+            )
+        generate_path = f"{path}.generate"
+        generated = generate_crash_schedule(
+            num_replicas=replicas,
+            mtbf_s=_require_number(generate, "mtbf_s", path=generate_path, strict=True),
+            mttr_s=_require_number(generate, "mttr_s", path=generate_path, strict=True),
+            horizon_s=_require_number(generate, "horizon_s", path=generate_path, strict=True),
+            seed=int(generate.get("seed", 0)),
+        )
+        events.extend(generated.events)
+
+    return FaultSchedule(
+        events, enabled=enabled, warm_restore_blocks=warm_restore_blocks
+    )

@@ -321,6 +321,19 @@ class KVCacheManager:
         gpu_blocks = self._cache.match_length(block_hashes)
         return self._tiers.prefetch(block_hashes, gpu_blocks, now=now)
 
+    def set_transfer_cost_multiplier(self, multiplier: float) -> None:
+        """Scale every modelled host-link transfer time by ``multiplier``.
+
+        The fault subsystem's interconnect brownout: applied to the flat
+        offload store and the tiered hierarchy's host store (the fleet sets
+        the shared cluster store's multiplier itself).  1.0 restores normal
+        costs bit-exactly.
+        """
+        if self._offload is not None:
+            self._offload.cost_multiplier = multiplier
+        if self._tiers is not None and self._tiers.host is not None:
+            self._tiers.host.cost_multiplier = multiplier
+
     def drain(self) -> int:
         """Flush the cached hierarchy downward (replica retirement).
 

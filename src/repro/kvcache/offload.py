@@ -55,6 +55,10 @@ class CPUOffloadStore:
         #: prefix store uses it to demote host evictions into the
         #: cluster-shared tier instead of dropping them.
         self.on_evict: Callable[[int], None] | None = None
+        #: Transfer-cost multiplier applied to every modelled transfer time.
+        #: 1.0 (the default) is a bit-exact no-op; the fault subsystem raises
+        #: it during interconnect brownouts.
+        self.cost_multiplier: float = 1.0
 
     @property
     def capacity_blocks(self) -> int:
@@ -142,7 +146,8 @@ class CPUOffloadStore:
     def _transfer_time(self, num_blocks: int) -> float:
         if num_blocks == 0:
             return 0.0
-        return num_blocks * self._block_bytes / self._link.bandwidth + self._link.latency
+        seconds = num_blocks * self._block_bytes / self._link.bandwidth + self._link.latency
+        return seconds * self.cost_multiplier
 
     def clear(self) -> None:
         """Drop everything stored."""

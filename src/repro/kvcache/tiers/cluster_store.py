@@ -81,6 +81,11 @@ class ClusterPrefixStore:
         self._hits_by_replica: dict[str, int] = {}
         self._publishes_by_replica: dict[str, int] = {}
         self._version = 0
+        self._available = True
+        #: Transfer-cost multiplier applied to every modelled transfer time.
+        #: 1.0 (the default) is a bit-exact no-op; the fault subsystem raises
+        #: it during interconnect brownouts.
+        self.cost_multiplier: float = 1.0
 
     # ---------------------------------------------------------------- state
 
@@ -122,15 +127,37 @@ class ClusterPrefixStore:
             publishes_by_replica=dict(self._publishes_by_replica),
         )
 
+    @property
+    def available(self) -> bool:
+        """Whether the store is reachable (the fault subsystem's L3 outage)."""
+        return self._available
+
+    def set_available(self, available: bool) -> None:
+        """Toggle reachability.  During an outage reads miss and writes are
+        refused (and lost); stored blocks survive and become visible again
+        when the outage ends.  Toggling bumps :attr:`version`, so memoised
+        JCT calibrations that credited L3 residency are invalidated."""
+        if self._available != bool(available):
+            self._available = bool(available)
+            self._version += 1
+
     def __contains__(self, content_hash: int) -> bool:
-        return content_hash in self._blocks
+        return self._available and content_hash in self._blocks
 
     def owner_of(self, content_hash: int) -> str | None:
         """The replica that published ``content_hash``, or None when absent."""
+        if not self._available:
+            return None
         return self._blocks.get(content_hash)
 
     def resident_hashes(self) -> list[int]:
-        """Stored content hashes in LRU order (oldest first)."""
+        """Stored content hashes in LRU order (oldest first).
+
+        Empty while the store is unavailable — an outage hides the contents
+        from every reader, warm restore included.
+        """
+        if not self._available:
+            return []
         return list(self._blocks)
 
     # ------------------------------------------------------------------ I/O
@@ -140,8 +167,12 @@ class ClusterPrefixStore:
 
         Already-present hashes are refreshed in LRU order (original owner
         kept) at no transfer cost; new hashes evict LRU entries as needed and
-        are charged through the configured link.
+        are charged through the configured link.  While the store is
+        unavailable the write is refused: nothing is stored and the offered
+        blocks are lost (the caller's demotion path counts them as drops).
         """
+        if not self._available:
+            return 0, 0.0
         stored = 0
         for content_hash in block_hashes:
             if content_hash in self._blocks:
@@ -177,6 +208,8 @@ class ClusterPrefixStore:
         batch blocks and charge one :meth:`transfer_time` per tier visit, so a
         ten-block continuation pays the link latency once, not ten times.
         """
+        if not self._available:
+            return False
         owner = self._blocks.get(content_hash)
         if owner is None:
             return False
@@ -205,7 +238,7 @@ class ClusterPrefixStore:
         """Length (in blocks) of the stored prefix of ``block_hashes``."""
         count = 0
         for content_hash in block_hashes:
-            if content_hash not in self._blocks:
+            if content_hash not in self:
                 break
             count += 1
         return count
@@ -217,7 +250,8 @@ class ClusterPrefixStore:
     def _transfer_time(self, num_blocks: int) -> float:
         if num_blocks == 0:
             return 0.0
-        return num_blocks * self._block_bytes / self._link.bandwidth + self._link.latency
+        seconds = num_blocks * self._block_bytes / self._link.bandwidth + self._link.latency
+        return seconds * self.cost_multiplier
 
     def clear(self) -> None:
         """Drop everything stored (between experiments)."""

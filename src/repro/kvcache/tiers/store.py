@@ -424,6 +424,37 @@ class TieredPrefixStore:
         self._prefetch_seconds += self._batch_seconds(landed_host, landed - landed_host)
         return landed * self._block_size
 
+    def warm_restore(self, block_hashes, *, now: float = 0.0) -> int:
+        """Stage cluster-resident blocks into the host tier (replica rebuild).
+
+        The fault subsystem's recovery path: a replica rebuilt after a crash
+        starts with an empty L1 and L2, but prefixes that were already
+        resident in the fleet-shared cluster store survived the crash — this
+        copies up to ``len(block_hashes)`` of them into the fresh host tier
+        so the first post-recovery requests pay the host link instead of the
+        cluster link (or a full recompute).  The transfer is a background
+        copy: accounted as prefetch time, charged to no request, and the L3
+        entries stay put (they belong to their publisher — typically the
+        dead replica — and other replicas keep matching them).
+
+        Returns the number of blocks staged.
+        """
+        if self._host is None or self._cluster is None:
+            return 0
+        fresh = [
+            content_hash for content_hash in block_hashes
+            if content_hash in self._cluster and content_hash not in self._host
+        ]
+        if not fresh:
+            return 0
+        self._version += 1
+        seconds = self._host.store(fresh)
+        restored = sum(1 for content_hash in fresh if content_hash in self._host)
+        self._prefetched += restored
+        self._prefetch_seconds += seconds
+        self._bytes_up += restored * self._block_bytes
+        return restored
+
     # ------------------------------------------------------------- demotion
 
     def accept_overflow(self, block_hashes, *, now: float = 0.0) -> int:

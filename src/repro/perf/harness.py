@@ -12,6 +12,9 @@ peak RSS high-water mark:
 * ``fleet-4``        — a 4-replica fleet under bursty (MMPP) arrivals;
 * ``fleet-tiered``   — the same fleet with the GPU -> host -> cluster tiered
   prefix cache enabled;
+* ``fleet-chaos``    — the tiered fleet under a pinned fault schedule (a
+  crash/recover cycle, a slow node, a brownout, an L3 outage), exercising
+  the fault-injection and recovery paths;
 * ``fleet-32-loop``  — a 32-replica, closed-loop-driven fleet with the fitted
   JCT scheduler (loop-bound: dominated by per-event bookkeeping and replica
   startup, the paths the profile-run / JCT-estimator memos accelerate);
@@ -49,6 +52,7 @@ from repro.baselines.registry import all_engine_specs, get_engine_spec
 from repro.cluster import Fleet
 from repro.core.jct import JCTEstimator, JCTProfiler, jct_pearson_correlation
 from repro.errors import ConfigurationError, PerfCheckError
+from repro.faults import fault_schedule_from_dict
 from repro.hardware.cluster import get_hardware_setup
 from repro.kvcache.tiers import TierConfig
 from repro.model.config import get_model
@@ -161,7 +165,7 @@ def _case_single_engine(scale: str) -> tuple[int, str]:
 
 def _fleet_case(scale: str, *, replicas: int, arrival_name: str,
                 arrival_params: dict, tier_config: TierConfig | None = None,
-                fitted_jct: bool = False) -> tuple[int, str]:
+                fitted_jct: bool = False, faults=None) -> tuple[int, str]:
     users, posts, _, _, _ = _check_scale(scale)
     spec = get_engine_spec("prefillonly")
     if fitted_jct:
@@ -178,8 +182,17 @@ def _fleet_case(scale: str, *, replicas: int, arrival_name: str,
         tier_config=tier_config,
     )
     requests = make_arrival(arrival_name, **arrival_params).assign(list(trace.requests))
-    result = simulate_fleet(fleet, requests)
-    return result.num_events, _signature(_summary_payload(result))
+    result = simulate_fleet(fleet, requests, faults=faults)
+    payload = _summary_payload(result)
+    resilience = result.fleet.resilience
+    if resilience is not None:
+        payload.append([
+            resilience.num_crashes, resilience.num_recoveries,
+            resilience.num_retried, resilience.lost_work_tokens,
+            resilience.lost_kv_tokens, resilience.warm_restored_blocks,
+            resilience.warm_restore_hit_rate, resilience.goodput_ratio,
+        ])
+    return result.num_events, _signature(payload)
 
 
 def _case_fleet_4(scale: str) -> tuple[int, str]:
@@ -194,6 +207,33 @@ def _case_fleet_tiered(scale: str) -> tuple[int, str]:
         scale, replicas=4, arrival_name="mmpp",
         arrival_params={"base_rate": 4.0, "burst_rate": 40.0, "seed": 2},
         tier_config=TierConfig(enabled=True, host_gib=2.0, cluster_gib=8.0),
+    )
+
+
+def _case_fleet_chaos(scale: str) -> tuple[int, str]:
+    """The tiered fleet under a pinned chaos schedule (determinism included).
+
+    The schedule mixes every fault kind; the signature folds in the
+    resilience counters, so the memo on/off and parallel/serial cross-checks
+    also pin that fault handling never depends on cache state.
+    """
+    faults = fault_schedule_from_dict({
+        "enabled": True,
+        "warm_restore_blocks": 256,
+        "events": [
+            {"kind": "crash", "replica": 0, "at": 2.0, "recover_at": 7.0},
+            {"kind": "slow", "replica": 2, "at": 1.0, "duration": 6.0,
+             "multiplier": 2.5},
+            {"kind": "brownout", "at": 3.0, "duration": 4.0, "multiplier": 4.0},
+            {"kind": "outage", "at": 5.0, "duration": 2.0},
+            {"kind": "crash", "replica": 0, "at": 10.0, "recover_at": 13.0},
+        ],
+    })
+    return _fleet_case(
+        scale, replicas=4, arrival_name="mmpp",
+        arrival_params={"base_rate": 4.0, "burst_rate": 40.0, "seed": 2},
+        tier_config=TierConfig(enabled=True, host_gib=2.0, cluster_gib=8.0),
+        faults=faults,
     )
 
 
@@ -267,6 +307,7 @@ PINNED_CASES = {
     "single-engine": _case_single_engine,
     "fleet-4": _case_fleet_4,
     "fleet-tiered": _case_fleet_tiered,
+    "fleet-chaos": _case_fleet_chaos,
     "fleet-32-loop": _case_fleet_32_loop,
     "analytic": _case_analytic,
 }

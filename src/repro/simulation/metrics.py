@@ -227,6 +227,123 @@ def summarize_tiers(cache_stats: list, cluster_stats=None) -> TierSummary:
 
 
 @dataclass(frozen=True)
+class ResilienceSummary:
+    """Fault / recovery accounting of one chaos run.
+
+    Only produced when a fault schedule was actually injected, so summaries
+    (and their report rows) of fault-free runs are unchanged.
+
+    Attributes:
+        num_faults: Fault events delivered and applied.
+        num_faults_skipped: Delivered events that found nothing to act on
+            (e.g. a crash targeting an already-crashed replica).
+        num_crashes / num_recoveries: Applied replica kills and rebuilds.
+        num_slow_events / num_brownouts / num_outages: Applied degradation
+            windows (slow nodes, interconnect brownouts, L3 outages).
+        mean_mttr_s: Mean crash-to-recover time over completed repairs
+            (0 when no crash was ever repaired).
+        num_retried: Requests evacuated from crashed replicas and re-routed.
+        num_lost_in_flight: Requests whose partial forward pass died with a
+            replica (a subset of the retried).
+        lost_work_tokens: Tokens of in-flight compute discarded by crashes.
+        lost_kv_tokens: Cached tokens (GPU radix tree + host store) dropped
+            by crashes — only cluster-store-resident prefixes survive.
+        num_unserved: Requests (arrivals or retries) that found zero active
+            replicas and were dropped fleet-wide.
+        warm_restored_blocks: Blocks staged from the cluster store into
+            rebuilt replicas' host tiers on rejoin.
+        warm_restore_hit_rate: Fraction of the rebuilt replicas' input tokens
+            served from the host/cluster tiers instead of recomputed cold —
+            the recovery value of the shared KV store.
+        offered_rps / goodput_rps: Offered load vs completed throughput over
+            the run's makespan.
+        goodput_ratio: Completed / offered requests — SLO-agnostic
+            availability under failure.
+        fault_log: One dict row per delivered fault event, in time order.
+    """
+
+    num_faults: int
+    num_faults_skipped: int
+    num_crashes: int
+    num_recoveries: int
+    num_slow_events: int
+    num_brownouts: int
+    num_outages: int
+    mean_mttr_s: float
+    num_retried: int
+    num_lost_in_flight: int
+    lost_work_tokens: int
+    lost_kv_tokens: int
+    num_unserved: int
+    warm_restored_blocks: int
+    warm_restore_hit_rate: float
+    offered_rps: float
+    goodput_rps: float
+    goodput_ratio: float
+    fault_log: tuple[dict, ...] = ()
+
+    def as_dict(self) -> dict:
+        """Scalar view for report tables."""
+        return {
+            "num_faults": self.num_faults,
+            "num_crashes": self.num_crashes,
+            "num_recoveries": self.num_recoveries,
+            "mean_mttr_s": round(self.mean_mttr_s, 3),
+            "num_retried": self.num_retried,
+            "lost_work_tokens": self.lost_work_tokens,
+            "lost_kv_tokens": self.lost_kv_tokens,
+            "num_unserved": self.num_unserved,
+            "warm_restored_blocks": self.warm_restored_blocks,
+            "warm_restore_hit_rate": round(self.warm_restore_hit_rate, 3),
+            "offered_rps": round(self.offered_rps, 3),
+            "goodput_rps": round(self.goodput_rps, 3),
+            "goodput_ratio": round(self.goodput_ratio, 3),
+        }
+
+
+def summarize_resilience(counters, *, fault_log: tuple[dict, ...] = (),
+                         num_submitted: int = 0, num_finished: int = 0,
+                         makespan: float = 0.0, warm_hit_tokens: int = 0,
+                         warm_total_tokens: int = 0) -> ResilienceSummary:
+    """Freeze a fleet's fault counters into a :class:`ResilienceSummary`.
+
+    Args:
+        counters: The fleet's :class:`~repro.faults.ResilienceCounters`.
+        fault_log: Delivered fault events, as dict rows in time order.
+        num_submitted / num_finished: Offered and completed request counts.
+        makespan: The run's makespan in seconds (0 yields zero rates — the
+            all-crashed run that finishes nothing).
+        warm_hit_tokens / warm_total_tokens: Tier-served and total input
+            tokens on the replicas fault recovery rebuilt.
+    """
+    return ResilienceSummary(
+        num_faults=counters.num_faults_applied,
+        num_faults_skipped=counters.num_faults_skipped,
+        num_crashes=counters.num_crashes,
+        num_recoveries=counters.num_recoveries,
+        num_slow_events=counters.num_slow_events,
+        num_brownouts=counters.num_brownouts,
+        num_outages=counters.num_outages,
+        mean_mttr_s=(
+            float(np.mean(counters.mttr_samples)) if counters.mttr_samples else 0.0
+        ),
+        num_retried=counters.num_retried,
+        num_lost_in_flight=counters.num_lost_in_flight,
+        lost_work_tokens=counters.lost_work_tokens,
+        lost_kv_tokens=counters.lost_kv_tokens,
+        num_unserved=counters.num_unserved,
+        warm_restored_blocks=counters.warm_restored_blocks,
+        warm_restore_hit_rate=(
+            warm_hit_tokens / warm_total_tokens if warm_total_tokens else 0.0
+        ),
+        offered_rps=num_submitted / makespan if makespan > 0 else 0.0,
+        goodput_rps=num_finished / makespan if makespan > 0 else 0.0,
+        goodput_ratio=num_finished / num_submitted if num_submitted else 0.0,
+        fault_log=tuple(fault_log),
+    )
+
+
+@dataclass(frozen=True)
 class FleetSummary:
     """Cluster-level statistics of one fleet simulation run.
 
@@ -248,6 +365,8 @@ class FleetSummary:
             offload store — so default runs are unchanged.
         tiers: The run's :class:`TierSummary` when tiering was enabled,
             else None.
+        resilience: The run's :class:`ResilienceSummary` when a fault
+            schedule was injected, else None.
     """
 
     num_replicas: int
@@ -262,12 +381,14 @@ class FleetSummary:
     scale_events: tuple[dict, ...] = ()
     offload: dict | None = None
     tiers: TierSummary | None = None
+    resilience: ResilienceSummary | None = None
 
     def as_dict(self) -> dict:
         """Plain-dict view (scalar fields only) for report tables.
 
-        Offload and tier columns appear only when the run produced them, so
-        reports for untouched configurations stay byte-identical.
+        Offload, tier, and resilience columns appear only when the run
+        produced them, so reports for untouched configurations stay
+        byte-identical.
         """
         row = {
             "num_replicas": self.num_replicas,
@@ -284,6 +405,10 @@ class FleetSummary:
             row["offload_evicted"] = self.offload["evicted_blocks"]
         if self.tiers is not None:
             row["tier_hit_rate"] = round(self.tiers.tier_hit_rate, 3)
+        if self.resilience is not None:
+            row["num_crashes"] = self.resilience.num_crashes
+            row["num_retried"] = self.resilience.num_retried
+            row["goodput_ratio"] = round(self.resilience.goodput_ratio, 3)
         return row
 
 
@@ -292,7 +417,8 @@ def summarize_fleet(replica_reports: list[dict], *,
                     num_scale_ups: int = 0, num_scale_downs: int = 0,
                     num_shed: int = 0, num_replicas: int = 0,
                     peak_replicas: int = 0,
-                    tiers: TierSummary | None = None) -> FleetSummary:
+                    tiers: TierSummary | None = None,
+                    resilience: ResilienceSummary | None = None) -> FleetSummary:
     """Summarise per-replica report rows into a :class:`FleetSummary`.
 
     Args:
@@ -305,6 +431,11 @@ def summarize_fleet(replica_reports: list[dict], *,
         num_scale_ups / num_scale_downs / num_shed: Fleet counters.
         num_replicas / peak_replicas: Final and peak routable replica counts.
         tiers: Optional tier accounting for the run.
+        resilience: Optional fault/recovery accounting for the run.
+
+    All aggregations are empty-safe: a run that finishes zero requests (an
+    all-crashed or all-shed chaos run) summarises to clean zeros rather than
+    raising on empty report lists.
     """
     utilization = {
         report["replica"]: float(report["utilization"]) for report in replica_reports
@@ -341,6 +472,7 @@ def summarize_fleet(replica_reports: list[dict], *,
         scale_events=tuple(scale_events),
         offload=offload,
         tiers=tiers,
+        resilience=resilience,
     )
 
 

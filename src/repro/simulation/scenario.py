@@ -28,6 +28,11 @@ Config file shape (JSON)::
         "tiers": {"host": {"capacity_gib": 4.0},
                    "cluster": {"capacity_gib": 16.0}}
       },
+      "faults": {                       // optional chaos schedule
+        "enabled": true,                // (see docs/FAULTS.md)
+        "events": [{"kind": "crash", "replica": 0,
+                     "at": 60.0, "recover_at": 120.0}]
+      },
       "seed": 0,
       "tenants": [
         {
@@ -60,6 +65,7 @@ from pathlib import Path
 from repro.baselines.registry import get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.errors import ScenarioError
+from repro.faults import FaultSchedule, fault_schedule_from_dict
 from repro.hardware.cluster import get_hardware_setup
 from repro.kvcache.tiers import TierConfig, tier_config_from_dict
 from repro.perf.runner import ParallelRunner, resolve_runner
@@ -90,7 +96,7 @@ _TENANT_KEYS = {
 }
 _SCENARIO_KEYS = {
     "name", "engine", "setup", "replicas", "router", "max_queue_depth",
-    "autoscale", "seed", "max_input_length", "tenants", "kv_tiers",
+    "autoscale", "seed", "max_input_length", "tenants", "kv_tiers", "faults",
 }
 _AUTOSCALE_KEYS = {
     "min_replicas", "max_replicas", "scale_up_rps_per_replica",
@@ -116,6 +122,10 @@ class ScenarioSpec:
     #: config block (None or ``enabled: false`` runs without tiering, with
     #: results byte-identical to a config that omits the block entirely).
     kv_tiers: TierConfig | None = None
+    #: Fault schedule, parsed from the ``"faults"`` config block (see
+    #: ``docs/FAULTS.md``).  None or ``enabled: false`` injects nothing, with
+    #: results byte-identical to a config that omits the block entirely.
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -173,6 +183,12 @@ def scenario_from_dict(config: dict) -> ScenarioSpec:
     kv_tiers = None
     if "kv_tiers" in config:
         kv_tiers = tier_config_from_dict(config["kv_tiers"], path="kv_tiers")
+    faults = None
+    if "faults" in config:
+        faults = fault_schedule_from_dict(
+            config["faults"], path="faults",
+            default_replicas=config.get("replicas"),
+        )
     return ScenarioSpec(
         name=config["name"],
         tenants=tenants,
@@ -185,6 +201,7 @@ def scenario_from_dict(config: dict) -> ScenarioSpec:
         seed=seed,
         max_input_length=config.get("max_input_length"),
         kv_tiers=kv_tiers,
+        faults=faults,
     )
 
 
@@ -210,6 +227,9 @@ class TenantReport:
     summary: LatencySummary
     slo_latency_s: float | None = None
     slo_attainment: float | None = None
+    #: Crash-evacuated requests of this tenant that were re-routed; None on
+    #: fault-free runs (the report column only appears under chaos).
+    retried: int | None = None
 
     def as_dict(self) -> dict:
         """Row for the per-tenant report table."""
@@ -225,6 +245,8 @@ class TenantReport:
                 round(self.slo_attainment, 3) if self.slo_attainment is not None else "-"
             ),
         }
+        if self.retried is not None:
+            row["retried"] = self.retried
         return row
 
 
@@ -273,11 +295,25 @@ def _build_fleet(spec: ScenarioSpec, max_input_length: int, *,
 
 
 def _tenant_reports(spec: ScenarioSpec, requests: list[Request],
-                    result: FleetSimulationResult) -> list[TenantReport]:
-    """Slice the fleet result per tenant in one pass over the records."""
+                    result: FleetSimulationResult,
+                    retried_ids: list[int] | None = None) -> list[TenantReport]:
+    """Slice the fleet result per tenant in one pass over the records.
+
+    Args:
+        retried_ids: Request ids the fleet re-routed after crashes (one entry
+            per retry).  None — the fault-free default — leaves the tenants'
+            ``retried`` fields unset so existing report rows are unchanged.
+    """
     tenant_of = {
         request.request_id: request.metadata.get("tenant") for request in requests
     }
+    retried_by_tenant: dict[str, int] | None = None
+    if retried_ids is not None:
+        retried_by_tenant = {}
+        for request_id in retried_ids:
+            tenant = tenant_of.get(request_id)
+            if tenant is not None:
+                retried_by_tenant[tenant] = retried_by_tenant.get(tenant, 0) + 1
     finished: dict[str, list] = {tenant.name: [] for tenant in spec.tenants}
     rejected: dict[str, list] = {tenant.name: [] for tenant in spec.tenants}
     for record in result.finished:
@@ -303,6 +339,10 @@ def _tenant_reports(spec: ScenarioSpec, requests: list[Request],
             summary=summary,
             slo_latency_s=tenant.slo_latency_s,
             slo_attainment=attainment,
+            retried=(
+                retried_by_tenant.get(tenant.name, 0)
+                if retried_by_tenant is not None else None
+            ),
         ))
     return reports
 
@@ -340,11 +380,15 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
         spec, max_input_length,
         use_event_queue=use_event_queue, engine_fast_paths=engine_fast_paths,
     )
-    result = simulate_fleet(fleet, requests)
+    chaos = spec.faults is not None and spec.faults.active
+    result = simulate_fleet(fleet, requests, faults=spec.faults)
     return ScenarioResult(
         spec=spec,
         result=result,
-        tenants=_tenant_reports(spec, requests, result),
+        tenants=_tenant_reports(
+            spec, requests, result,
+            retried_ids=fleet.retried_request_ids if chaos else None,
+        ),
         trace_path=trace_path,
     )
 

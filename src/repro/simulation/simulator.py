@@ -201,7 +201,8 @@ class FleetSimulationResult:
 
 def simulate_fleet(fleet, requests: list[Request], *,
                    max_simulated_seconds: float = 1e7,
-                   max_events: int = 10_000_000) -> FleetSimulationResult:
+                   max_events: int = 10_000_000,
+                   faults=None) -> FleetSimulationResult:
     """Replay ``requests`` against a :class:`~repro.cluster.fleet.Fleet`.
 
     The event merge mirrors :func:`simulate`: the earliest of the next arrival
@@ -212,11 +213,23 @@ def simulate_fleet(fleet, requests: list[Request], *,
     fleet finds its due replicas with the event queue or a scan is the fleet's
     own ``use_event_queue`` constructor flag.
 
+    With a fault schedule the merge gains a third source: the schedule's
+    events are loaded into their own :class:`~repro.simulation.events.EventQueue`
+    (keyed by schedule position, so equal-time faults fire in schedule order)
+    and a due fault wins ties against arrivals and internal events — a crash
+    at *t* removes the replica before the arrival at *t* routes.  Each
+    delivered fault counts as one processed event, and the run's
+    :class:`~repro.simulation.metrics.ResilienceSummary` lands in
+    ``result.fleet.resilience``.  With ``faults`` absent or disabled the loop
+    is untouched and results are byte-identical to a schedule-free run.
+
     Args:
         fleet: The fleet under test.
         requests: Requests with ``arrival_time`` assigned, in any order.
         max_simulated_seconds: Safety limit on simulated time.
         max_events: Safety limit on processed events.
+        faults: Optional :class:`~repro.faults.FaultSchedule` of chaos events
+            to inject (None or a disabled/empty schedule injects nothing).
 
     Raises:
         SimulationError: if either safety limit is hit.
@@ -226,23 +239,39 @@ def simulate_fleet(fleet, requests: list[Request], *,
     now = 0.0
     events = 0
 
+    fault_events = ()
+    fault_queue: EventQueue | None = None
+    if faults is not None and faults.active:
+        fault_events = faults.events
+        fault_queue = EventQueue()
+        for index, event in enumerate(fault_events):
+            fault_queue.update(index, event.time)
+        fleet.warm_restore_blocks = faults.warm_restore_blocks
+
     while True:
         next_arrival = (
             pending[arrival_index].arrival_time if arrival_index < len(pending) else math.inf
         )
         next_internal = fleet.next_event_time()
         next_internal = math.inf if next_internal is None else next_internal
+        next_fault = fault_queue.next_time() if fault_queue is not None else None
+        next_fault = math.inf if next_fault is None else next_fault
 
-        if math.isinf(next_arrival) and math.isinf(next_internal):
+        if math.isinf(next_arrival) and math.isinf(next_internal) and math.isinf(next_fault):
             break
 
-        now = min(next_arrival, next_internal)
+        now = min(next_arrival, next_internal, next_fault)
         if now > max_simulated_seconds:
             raise SimulationError(
                 f"fleet simulation exceeded {max_simulated_seconds} simulated seconds"
             )
 
-        if next_arrival <= next_internal:
+        if next_fault <= next_arrival and next_fault <= next_internal:
+            due = fault_queue.pop_due(now)
+            for index in due:
+                fleet.apply_fault(fault_events[index], now)
+            events += max(len(due), 1)
+        elif next_arrival <= next_internal:
             request = pending[arrival_index]
             arrival_index += 1
             fleet.submit(request, now)
@@ -259,13 +288,17 @@ def simulate_fleet(fleet, requests: list[Request], *,
 
     finished = fleet.finished_requests()
     rejected = fleet.rejected_requests()
+    summary = summarize_finished(finished, rejected)
     tier_summary = getattr(fleet, "tier_summary", lambda: None)()
+    resilience = (
+        fleet.resilience_summary(summary) if fault_queue is not None else None
+    )
     return FleetSimulationResult(
         fleet_name=fleet.name,
         finished=finished,
         rejected=rejected,
         shed=fleet.shed_requests(),
-        summary=summarize_finished(finished, rejected),
+        summary=summary,
         fleet=summarize_fleet(
             fleet.replica_reports(now),
             scale_events=tuple(event.as_dict() for event in fleet.scale_events),
@@ -275,6 +308,7 @@ def simulate_fleet(fleet, requests: list[Request], *,
             num_replicas=fleet.num_replicas,
             peak_replicas=fleet.stats.peak_replicas,
             tiers=tier_summary,
+            resilience=resilience,
         ),
         cache_stats=fleet.cache_stats(),
         num_events=events,
