@@ -6,6 +6,7 @@
 #   make bench-tiers - only the KV-tiering benchmark (tiered vs suffix discard)
 #   make bench-sweep - serial vs parallel engine sweep (byte-identical results)
 #   make perf        - perf-regression harness vs the committed BENCH baseline
+#   make fuzz        - scenario fuzzer, full 200-example derandomized profile
 #   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
 #   make examples    - run every example script end to end
 #   make scenarios   - smoke-run every CLI example in docs/SCENARIOS.md
@@ -18,7 +19,7 @@ PERF_WORKERS ?= 4
 #: Committed baseline the perf target compares against (see docs/PERFORMANCE.md).
 PERF_BASELINE ?= BENCH_pr5.json
 
-.PHONY: test bench bench-paper bench-tiers bench-sweep perf docs-check examples scenarios
+.PHONY: test bench bench-paper bench-tiers bench-sweep perf fuzz docs-check examples scenarios
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +40,9 @@ perf:
 	$(PYTHON) scripts/perf_report.py run --label pr --scale small --workers $(PERF_WORKERS)
 	$(PYTHON) scripts/perf_report.py compare $(PERF_BASELINE) BENCH_pr.json \
 		--max-regression 0.20 --normalize
+
+fuzz:
+	HYPOTHESIS_PROFILE=fuzz $(PYTHON) -m pytest tests/test_scenario_fuzz.py -q
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

@@ -13,7 +13,10 @@ Fails (exit code 1) when the documentation drifts from the code:
   must exist, so cookbook commands keep working as files move;
 * every relative file link / path reference checked must exist;
 * no compiled bytecode (``*.pyc`` / ``__pycache__``) may be tracked by git —
-  the guard that keeps the PR-0 cleanup permanent.
+  the guard that keeps the PR-0 cleanup permanent;
+* the generated field tables in docs/SPEC.md must match what
+  :mod:`repro.spec.docgen` renders from the model declarations — regenerate
+  with ``--update-spec`` after changing a spec model.
 
 Run with::
 
@@ -144,10 +147,53 @@ def check_no_tracked_bytecode(errors: list[str]) -> None:
             errors.append(f"compiled bytecode is tracked by git: {path!r}")
 
 
-def main() -> int:
+def check_spec_tables(errors: list[str]) -> None:
+    """Fail when docs/SPEC.md's generated tables drift from the spec models."""
+    from repro.spec.docgen import render_spec_doc
+
+    spec_doc = REPO_ROOT / "docs" / "SPEC.md"
+    if not spec_doc.exists():
+        return  # reported as a missing DOC_FILES entry already
+    current = spec_doc.read_text(encoding="utf-8")
+    try:
+        expected = render_spec_doc(current)
+    except ValueError as exc:
+        errors.append(f"docs/SPEC.md: {exc}")
+        return
+    if current != expected:
+        errors.append(
+            "docs/SPEC.md: generated spec tables are out of date — run "
+            "`PYTHONPATH=src python scripts/docs_check.py --update-spec`"
+        )
+
+
+def update_spec_tables() -> int:
+    """Regenerate docs/SPEC.md's tables in place (the ``--update-spec`` mode)."""
+    from repro.spec.docgen import render_spec_doc
+
+    spec_doc = REPO_ROOT / "docs" / "SPEC.md"
+    current = spec_doc.read_text(encoding="utf-8")
+    updated = render_spec_doc(current)
+    if updated == current:
+        print("docs-check: docs/SPEC.md already up to date")
+        return 0
+    spec_doc.write_text(updated, encoding="utf-8")
+    print("docs-check: regenerated spec tables in docs/SPEC.md")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("--update-spec", action="store_true",
+                     help="regenerate docs/SPEC.md's field tables and exit")
+    args = cli.parse_args(argv)
+    if args.update_spec:
+        return update_spec_tables()
+
     errors: list[str] = []
     checked = 0
     check_no_tracked_bytecode(errors)
+    check_spec_tables(errors)
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"missing documentation file: {path.relative_to(REPO_ROOT)}")

@@ -33,10 +33,10 @@ from repro.analysis.reporting import format_fleet_report, format_scenario_report
 from repro.analysis.sweep import compare_engines, paper_qps_points, base_throughput, qps_sweep
 from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
-from repro.errors import FaultScheduleError
+from repro.errors import FaultScheduleError, ReproError
 from repro.faults import fault_schedule_from_dict
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
-from repro.kvcache.tiers import PROMOTION_POLICIES, TierConfig
+from repro.kvcache.tiers import PROMOTION_POLICIES, tier_config_from_dict
 from repro.model.config import MODEL_REGISTRY, get_model
 from repro.hardware.gpu import GPU_REGISTRY
 from repro.simulation.arrival import ARRIVAL_FACTORIES, BurstArrivalProcess, PoissonArrivalProcess
@@ -154,13 +154,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
     tier_config = None
     if args.tiers:
-        tier_config = TierConfig(
-            enabled=True,
-            host_gib=args.tier_host_gib,
-            cluster_gib=args.tier_cluster_gib,
-            promotion=args.tier_promotion,
-            prefetch=not args.no_tier_prefetch,
-        )
+        # Route the flags through the same spec-layer parser a scenario
+        # config's "kv_tiers" block uses, so flag validation is identical.
+        tier_config = tier_config_from_dict({
+            "enabled": True,
+            "tiers": {"host": {"capacity_gib": args.tier_host_gib},
+                      "cluster": {"capacity_gib": args.tier_cluster_gib}},
+            "promotion": args.tier_promotion,
+            "prefetch": not args.no_tier_prefetch,
+        })
     fleet = Fleet.for_setup(
         spec, setup,
         max_input_length=trace.max_request_tokens,
@@ -238,6 +240,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         parallel_check=not args.no_parallel_check,
     )
     print(format_harness_report(report))
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.spec.docgen import model_summary_rows, model_table
+    from repro.spec.models import DOCUMENTED_MODELS
+
+    if args.model is None:
+        print(format_table(model_summary_rows(), title="Spec models (docs/SPEC.md)"))
+        return 0
+    by_name = {cls.__name__: cls for cls in DOCUMENTED_MODELS}
+    cls = by_name[args.model]
+    print(f"{cls.__name__} — {cls.__spec__.title}")
+    print()
+    print(model_table(cls))
     return 0
 
 
@@ -393,14 +410,34 @@ def build_parser() -> argparse.ArgumentParser:
                              help="skip the parallel-vs-serial sweep cross-check")
     perf_parser.set_defaults(func=_cmd_perf)
 
+    from repro.spec.models import DOCUMENTED_MODELS
+
+    spec_parser = subparsers.add_parser(
+        "spec", help="show the config spec models and their field tables (docs/SPEC.md)"
+    )
+    spec_parser.add_argument("--model", default=None,
+                             choices=[cls.__name__ for cls in DOCUMENTED_MODELS],
+                             help="print one model's field table instead of the overview")
+    spec_parser.set_defaults(func=_cmd_spec)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``prefillonly`` console script."""
+    """Entry point of the ``prefillonly`` console script.
+
+    Every config/validation failure in the library raises a
+    :class:`~repro.errors.ReproError` (spec-layer errors carry the dotted
+    JSON path of the offending value); the CLI turns them into a one-line
+    stderr message and exit code 2 instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"prefillonly: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

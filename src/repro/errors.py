@@ -41,6 +41,22 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A system-wide invariant failed to hold over a finished simulation run.
+
+    Raised by :mod:`repro.simulation.invariants` — the checks the scenario
+    fuzzer asserts over every generated config (request conservation, goodput
+    bounds, single KV residency, tenant-sum consistency, reproducibility).
+
+    Attributes:
+        invariant: Machine-readable name of the violated invariant.
+    """
+
+    def __init__(self, invariant: str, message: str) -> None:
+        self.invariant = invariant
+        super().__init__(f"invariant {invariant!r} violated: {message}")
+
+
 class PerfCheckError(ReproError):
     """A perf-harness identity cross-check failed (results diverged).
 
@@ -88,12 +104,63 @@ class UnknownWorkloadError(UnknownNameError, WorkloadError):
         super().__init__("workload", name, available)
 
 
+class SpecError(ReproError):
+    """A declarative spec config is invalid (see :mod:`repro.spec`).
+
+    The uniform base of every config-parsing failure in the spec layer:
+    unknown keys, missing required keys, type mismatches, out-of-range
+    values, and failed cross-field validators all derive from it.
+
+    Attributes:
+        path: Dotted JSON path of the offending config value
+            (``"faults.events[2].kind"``); empty for document-level errors.
+    """
+
+    def __init__(self, message: str, *, path: str = "") -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+class SpecVersionError(SpecError):
+    """A spec config declared a ``"version"`` this build does not support.
+
+    Attributes:
+        version: The unsupported version the config asked for.
+        supported: The versions this build can parse, ascending.
+    """
+
+    def __init__(self, version, supported: tuple[int, ...], *, path: str = "") -> None:
+        self.version = version
+        self.supported = tuple(sorted(supported))
+        names = ", ".join(str(v) for v in self.supported)
+        super().__init__(
+            f"unsupported spec version {version!r}; supported: {names}",
+            path=path,
+        )
+
+
 class ScenarioError(ReproError):
     """A scenario configuration is invalid, or a trace file is malformed."""
 
 
+class ScenarioSpecError(SpecError, ScenarioError):
+    """A scenario config failed spec-layer validation.
+
+    Subclasses :class:`ScenarioError` as well, so existing ``except
+    ScenarioError`` handlers keep catching config typos.
+    """
+
+
 class TierError(ReproError):
     """A tiered prefix-cache configuration or operation is invalid."""
+
+
+class TierSpecError(SpecError, TierError):
+    """A ``"kv_tiers"`` config block failed spec-layer validation.
+
+    Subclasses :class:`TierError` as well, so existing ``except TierError``
+    handlers keep catching configuration typos.
+    """
 
 
 class UnknownTierError(UnknownNameError, TierError):
@@ -139,16 +206,16 @@ class UnknownFaultError(UnknownNameError, FaultError):
         self.args = (f"{path}: {self.args[0]}",)
 
 
-class FaultScheduleError(FaultError):
+class FaultScheduleError(SpecError, FaultError):
     """A fault schedule is malformed (bad keys, times, targets, or magnitudes).
 
-    Attributes:
-        path: Dotted JSON path of the offending config value.
+    Carries the spec layer's dotted JSON ``path`` of the offending value and
+    is catchable both as a :class:`SpecError` (uniform config handling) and
+    as a :class:`FaultError` (domain handling).
     """
 
     def __init__(self, message: str, *, path: str = "faults") -> None:
-        self.path = path
-        super().__init__(f"{path}: {message}")
+        super().__init__(message, path=path)
 
 
 class TierCapacityError(TierError):

@@ -27,6 +27,7 @@ from repro.faults.schedule import (
     FaultSchedule,
     ResilienceCounters,
     fault_schedule_from_dict,
+    fault_schedule_from_model,
     generate_crash_schedule,
 )
 
@@ -37,5 +38,6 @@ __all__ = [
     "FaultSchedule",
     "ResilienceCounters",
     "fault_schedule_from_dict",
+    "fault_schedule_from_model",
     "generate_crash_schedule",
 ]

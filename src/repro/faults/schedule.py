@@ -50,7 +50,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import FaultScheduleError, UnknownFaultError
+from repro.errors import FaultScheduleError
+from repro.spec.core import from_dict
+from repro.spec.models import (
+    FAULT_KINDS,
+    BrownoutEventSpec,
+    CrashEventSpec,
+    FaultsSpec,
+    OutageEventSpec,
+    RecoverEventSpec,
+    SlowEventSpec,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -59,26 +69,12 @@ __all__ = [
     "FaultSchedule",
     "ResilienceCounters",
     "fault_schedule_from_dict",
+    "fault_schedule_from_model",
     "generate_crash_schedule",
 ]
 
-#: The fault kinds a config's ``events`` list may use.  The windowed kinds
-#: (``slow`` / ``brownout`` / ``outage``) compile into a start and a paired
-#: ``*-end`` event at ``at + duration``.
-FAULT_KINDS = ("crash", "recover", "slow", "brownout", "outage")
-
 #: Default L3 -> L2 warm-restore budget (blocks) applied on replica rejoin.
 DEFAULT_WARM_RESTORE_BLOCKS = 256
-
-_EVENT_KEYS = {
-    "crash": {"kind", "replica", "at", "recover_at"},
-    "recover": {"kind", "replica", "at"},
-    "slow": {"kind", "replica", "at", "duration", "multiplier"},
-    "brownout": {"kind", "at", "duration", "multiplier"},
-    "outage": {"kind", "at", "duration"},
-}
-_CONFIG_KEYS = {"enabled", "events", "generate", "warm_restore_blocks"}
-_GENERATE_KEYS = {"mtbf_s", "mttr_s", "horizon_s", "seed", "replicas"}
 
 
 @dataclass(frozen=True)
@@ -183,92 +179,38 @@ class ResilienceCounters:
     mttr_samples: list[float] = field(default_factory=list)
 
 
-def _require_number(entry: dict, key: str, *, path: str, minimum: float = 0.0,
-                    strict: bool = False) -> float:
-    if key not in entry:
-        raise FaultScheduleError(f"missing required key {key!r}", path=path)
-    value = entry[key]
-    if not isinstance(value, (int, float)) or isinstance(value, bool):
-        raise FaultScheduleError(
-            f"{key} must be a number, got {value!r}", path=f"{path}.{key}"
-        )
-    value = float(value)
-    if value < minimum or (strict and value <= minimum):
-        bound = "greater than" if strict else "at least"
-        raise FaultScheduleError(
-            f"{key} must be {bound} {minimum:g}, got {value:g}",
-            path=f"{path}.{key}",
-        )
-    return value
+def _compile_event(model) -> list[FaultEvent]:
+    """Compile one parsed event model into its primitive :class:`FaultEvent`\\ s.
 
-
-def _require_replica(entry: dict, *, path: str) -> int:
-    if "replica" not in entry:
-        raise FaultScheduleError("missing required key 'replica'", path=path)
-    replica = entry["replica"]
-    if not isinstance(replica, int) or isinstance(replica, bool) or replica < 0:
-        raise FaultScheduleError(
-            f"replica must be a non-negative integer, got {replica!r}",
-            path=f"{path}.replica",
-        )
-    return replica
-
-
-def _compile_entry(entry: dict, *, index: int, path: str) -> list[FaultEvent]:
-    entry_path = f"{path}.events[{index}]"
-    if not isinstance(entry, dict):
-        raise FaultScheduleError(
-            f"expected a JSON object, got {type(entry).__name__}", path=entry_path
-        )
-    kind = entry.get("kind")
-    if kind not in _EVENT_KEYS:
-        raise UnknownFaultError(str(kind), FAULT_KINDS, path=f"{entry_path}.kind")
-    unknown = set(entry) - _EVENT_KEYS[kind]
-    if unknown:
-        raise FaultScheduleError(
-            f"unknown keys {sorted(unknown)} for kind {kind!r}", path=entry_path
-        )
-    at = _require_number(entry, "at", path=entry_path)
-
-    if kind == "crash":
-        replica = _require_replica(entry, path=entry_path)
-        events = [FaultEvent(time=at, kind="crash", replica=replica)]
-        if "recover_at" in entry:
-            recover_at = _require_number(entry, "recover_at", path=entry_path)
-            if recover_at <= at:
-                raise FaultScheduleError(
-                    f"recover_at ({recover_at:g}) must be after at ({at:g})",
-                    path=f"{entry_path}.recover_at",
-                )
-            events.append(FaultEvent(time=recover_at, kind="recover", replica=replica))
+    Windowed kinds emit a start plus a paired ``*-end`` closer at
+    ``at + duration``; a ``crash`` with ``recover_at`` emits its repair too.
+    """
+    if isinstance(model, CrashEventSpec):
+        events = [FaultEvent(time=model.at, kind="crash", replica=model.replica)]
+        if model.recover_at is not None:
+            events.append(
+                FaultEvent(time=model.recover_at, kind="recover",
+                           replica=model.replica)
+            )
         return events
-    if kind == "recover":
-        replica = _require_replica(entry, path=entry_path)
-        return [FaultEvent(time=at, kind="recover", replica=replica)]
-
-    duration = _require_number(entry, "duration", path=entry_path, strict=True)
-    if kind == "slow":
-        replica = _require_replica(entry, path=entry_path)
-        multiplier = _require_number(
-            {"multiplier": entry.get("multiplier", 2.0)}, "multiplier",
-            path=entry_path, strict=True,
-        )
+    if isinstance(model, RecoverEventSpec):
+        return [FaultEvent(time=model.at, kind="recover", replica=model.replica)]
+    if isinstance(model, SlowEventSpec):
         return [
-            FaultEvent(time=at, kind="slow", replica=replica, multiplier=multiplier),
-            FaultEvent(time=at + duration, kind="slow-end", replica=replica),
+            FaultEvent(time=model.at, kind="slow", replica=model.replica,
+                       multiplier=model.multiplier),
+            FaultEvent(time=model.at + model.duration, kind="slow-end",
+                       replica=model.replica),
         ]
-    if kind == "brownout":
-        multiplier = _require_number(
-            {"multiplier": entry.get("multiplier", 4.0)}, "multiplier",
-            path=entry_path, strict=True,
-        )
+    if isinstance(model, BrownoutEventSpec):
         return [
-            FaultEvent(time=at, kind="brownout", multiplier=multiplier),
-            FaultEvent(time=at + duration, kind="brownout-end"),
+            FaultEvent(time=model.at, kind="brownout", multiplier=model.multiplier),
+            FaultEvent(time=model.at + model.duration, kind="brownout-end"),
         ]
+    assert isinstance(model, OutageEventSpec)
     return [
-        FaultEvent(time=at, kind="outage"),
-        FaultEvent(time=at + duration, kind="outage-end"),
+        FaultEvent(time=model.at, kind="outage"),
+        FaultEvent(time=model.at + model.duration, kind="outage-end"),
     ]
 
 
@@ -326,28 +268,25 @@ def fault_schedule_from_dict(config: dict, *, path: str = "faults",
         FaultScheduleError: on any other malformed key, time, target, or
             magnitude.
     """
-    if not isinstance(config, dict):
-        raise FaultScheduleError(
-            f"expected a JSON object, got {type(config).__name__}", path=path
-        )
-    unknown = set(config) - _CONFIG_KEYS
-    if unknown:
-        raise FaultScheduleError(f"unknown keys {sorted(unknown)}", path=path)
-    enabled = bool(config.get("enabled", True))
-    warm_restore_blocks = config.get("warm_restore_blocks", DEFAULT_WARM_RESTORE_BLOCKS)
-    if not isinstance(warm_restore_blocks, int) or isinstance(warm_restore_blocks, bool):
-        raise FaultScheduleError(
-            f"warm_restore_blocks must be an integer, got {warm_restore_blocks!r}",
-            path=f"{path}.warm_restore_blocks",
-        )
+    model = from_dict(FaultsSpec, config, path=path)
+    return fault_schedule_from_model(
+        model, path=path, default_replicas=default_replicas
+    )
 
-    entries = config.get("events", [])
-    if not isinstance(entries, list):
-        raise FaultScheduleError("events must be a JSON array", path=f"{path}.events")
+
+def fault_schedule_from_model(model: FaultsSpec, *, path: str = "faults",
+                              default_replicas: int | None = None) -> FaultSchedule:
+    """Compile a parsed :class:`~repro.spec.models.FaultsSpec` into a schedule.
+
+    The service half of the model/service split: the spec layer has already
+    validated shape, types, ranges, and per-event cross-field rules; this
+    function owns the *schedule* semantics — window compilation, the
+    same-kind overlap rule, and merging the seeded generator's events.
+    """
     events: list[FaultEvent] = []
     windows: dict[tuple, list[tuple[float, float, int]]] = {}
-    for index, entry in enumerate(entries):
-        compiled = _compile_entry(entry, index=index, path=path)
+    for index, entry in enumerate(model.events):
+        compiled = _compile_event(entry)
         events.extend(compiled)
         if len(compiled) == 2 and compiled[1].kind.endswith("-end"):
             start, end = compiled
@@ -370,38 +309,25 @@ def fault_schedule_from_dict(config: dict, *, path: str = "faults",
                     path=f"{path}.events",
                 )
 
-    if "generate" in config:
-        generate = config["generate"]
-        if not isinstance(generate, dict):
-            raise FaultScheduleError(
-                "generate must be a JSON object", path=f"{path}.generate"
-            )
-        unknown = set(generate) - _GENERATE_KEYS
-        if unknown:
-            raise FaultScheduleError(
-                f"unknown keys {sorted(unknown)}", path=f"{path}.generate"
-            )
-        replicas = generate.get("replicas", default_replicas)
+    if model.generate is not None:
+        replicas = model.generate.replicas
+        if replicas is None:
+            replicas = default_replicas
         if replicas is None:
             raise FaultScheduleError(
                 "generate needs 'replicas' (or a surrounding scenario that "
                 "sets a replica count)", path=f"{path}.generate.replicas",
             )
-        if not isinstance(replicas, int) or isinstance(replicas, bool):
-            raise FaultScheduleError(
-                f"replicas must be an integer, got {replicas!r}",
-                path=f"{path}.generate.replicas",
-            )
-        generate_path = f"{path}.generate"
         generated = generate_crash_schedule(
             num_replicas=replicas,
-            mtbf_s=_require_number(generate, "mtbf_s", path=generate_path, strict=True),
-            mttr_s=_require_number(generate, "mttr_s", path=generate_path, strict=True),
-            horizon_s=_require_number(generate, "horizon_s", path=generate_path, strict=True),
-            seed=int(generate.get("seed", 0)),
+            mtbf_s=model.generate.mtbf_s,
+            mttr_s=model.generate.mttr_s,
+            horizon_s=model.generate.horizon_s,
+            seed=model.generate.seed,
         )
         events.extend(generated.events)
 
     return FaultSchedule(
-        events, enabled=enabled, warm_restore_blocks=warm_restore_blocks
+        events, enabled=model.enabled,
+        warm_restore_blocks=model.warm_restore_blocks,
     )

@@ -154,6 +154,16 @@ class KVCacheManager:
         """Tokens currently resident in the prefix cache."""
         return self._cache.num_cached_tokens
 
+    def resident_hashes(self) -> list[int]:
+        """Content hashes resident in GPU (L1) memory, parents before children.
+
+        The public residency probe the system-wide invariant checks read
+        (:mod:`repro.simulation.invariants`): together with
+        ``tiers.host.resident_hashes()`` and the cluster store's
+        ``owner_of``, it pins single residency per owner across the tiers.
+        """
+        return self._cache.resident_hashes()
+
     @property
     def cache_version(self) -> int:
         """Monotonic version of the prefix cache contents.

@@ -32,18 +32,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import TierCapacityError, TierError, UnknownTierError
+from repro.errors import TierCapacityError, TierError
 from repro.kvcache.tiers.policy import PROMOTION_POLICIES
-
-#: The tiers a config block may size.  ``gpu`` (L1) is sized by the engine's
-#: profile run, not by config, so it is deliberately absent here.
-TIER_NAMES = ("host", "cluster")
-
-_TIER_ENTRY_KEYS = {"capacity_gib", "link"}
-_CONFIG_KEYS = {
-    "enabled", "tiers", "promotion", "promotion_threshold",
-    "demote_on_evict", "prefetch",
-}
+from repro.spec.core import from_dict
+from repro.spec.models import TIER_NAMES, KVTiersSpec
 
 
 @dataclass(frozen=True)
@@ -117,44 +109,24 @@ def tier_config_from_dict(config: dict, *, path: str = "kv_tiers") -> TierConfig
         TierCapacityError: if a capacity is negative or not a number.
         TierError: on any other malformed key or value.
     """
-    if not isinstance(config, dict):
-        raise TierError(f"{path}: expected a JSON object, got {type(config).__name__}")
-    unknown = set(config) - _CONFIG_KEYS
-    if unknown:
-        raise TierError(f"{path}: unknown keys {sorted(unknown)}")
+    return tier_config_from_model(from_dict(KVTiersSpec, config, path=path))
 
-    kwargs: dict = {"enabled": bool(config.get("enabled", False))}
-    tiers = config.get("tiers", {})
-    if not isinstance(tiers, dict):
-        raise TierError(f"{path}.tiers: expected a JSON object")
-    for tier_name, entry in tiers.items():
-        if tier_name not in TIER_NAMES:
-            raise UnknownTierError(tier_name, TIER_NAMES, path=f"{path}.tiers")
-        if not isinstance(entry, dict):
-            raise TierError(f"{path}.tiers.{tier_name}: expected a JSON object")
-        unknown = set(entry) - _TIER_ENTRY_KEYS
-        if unknown:
-            raise TierError(
-                f"{path}.tiers.{tier_name}: unknown keys {sorted(unknown)}"
-            )
-        if "capacity_gib" in entry:
-            capacity = entry["capacity_gib"]
-            if not isinstance(capacity, (int, float)) or isinstance(capacity, bool):
-                raise TierCapacityError(
-                    f"capacity_gib must be a number, got {capacity!r}",
-                    tier=tier_name, path=f"{path}.tiers.{tier_name}.capacity_gib",
-                )
-            kwargs[f"{tier_name}_gib"] = float(capacity)
-        if "link" in entry:
-            kwargs[f"{tier_name}_link"] = str(entry["link"])
-    for key in ("promotion", "demote_on_evict", "prefetch"):
-        if key in config:
-            kwargs[key] = config[key]
-    if "promotion_threshold" in config:
-        threshold = config["promotion_threshold"]
-        if not isinstance(threshold, int) or isinstance(threshold, bool):
-            raise TierError(
-                f"{path}.promotion_threshold: expected an integer, got {threshold!r}"
-            )
-        kwargs["promotion_threshold"] = threshold
+
+def tier_config_from_model(model: KVTiersSpec) -> TierConfig:
+    """Convert a parsed :class:`~repro.spec.models.KVTiersSpec` to a config.
+
+    The service half of the model/service split: the spec layer owns shape
+    and value validation; this flattens the per-tier entries into the
+    runtime dataclass every replica consumes.
+    """
+    kwargs: dict = {
+        "enabled": model.enabled,
+        "promotion": model.promotion,
+        "promotion_threshold": model.promotion_threshold,
+        "demote_on_evict": model.demote_on_evict,
+        "prefetch": model.prefetch,
+    }
+    for tier_name, entry in model.tiers.items():
+        kwargs[f"{tier_name}_gib"] = entry.capacity_gib
+        kwargs[f"{tier_name}_link"] = entry.link
     return TierConfig(**kwargs)

@@ -65,11 +65,14 @@ from pathlib import Path
 from repro.baselines.registry import get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.errors import ScenarioError
-from repro.faults import FaultSchedule, fault_schedule_from_dict
+from repro.faults import FaultSchedule, fault_schedule_from_model
 from repro.hardware.cluster import get_hardware_setup
-from repro.kvcache.tiers import TierConfig, tier_config_from_dict
+from repro.kvcache.tiers import TierConfig
+from repro.kvcache.tiers.config import tier_config_from_model
 from repro.perf.runner import ParallelRunner, resolve_runner
 from repro.simulation.arrival import make_arrival
+from repro.spec.core import from_dict, to_dict
+from repro.spec.models import ScenarioModel, TenantModel
 from repro.simulation.metrics import LatencySummary, summarize_finished
 from repro.simulation.routing import make_router
 from repro.simulation.simulator import FleetSimulationResult, simulate_fleet
@@ -82,6 +85,7 @@ __all__ = [
     "TenantReport",
     "ScenarioResult",
     "scenario_from_dict",
+    "scenario_from_model",
     "load_scenario",
     "build_mix",
     "run_scenario",
@@ -90,14 +94,6 @@ __all__ = [
     "run_scenario_suite",
 ]
 
-_TENANT_KEYS = {
-    "name", "workload", "workload_params", "weight", "slo_latency_s",
-    "arrival", "arrival_params",
-}
-_SCENARIO_KEYS = {
-    "name", "engine", "setup", "replicas", "router", "max_queue_depth",
-    "autoscale", "seed", "max_input_length", "tenants", "kv_tiers", "faults",
-}
 _AUTOSCALE_KEYS = {
     "min_replicas", "max_replicas", "scale_up_rps_per_replica",
     "window_seconds", "cooldown_seconds",
@@ -140,66 +136,71 @@ class ScenarioSpec:
                 )
 
 
-def _tenant_from_dict(entry: dict, *, index: int, scenario_seed: int) -> TenantSpec:
-    unknown = set(entry) - _TENANT_KEYS
-    if unknown:
-        raise ScenarioError(f"tenant #{index}: unknown keys {sorted(unknown)}")
-    for key in ("name", "workload", "arrival"):
-        if key not in entry:
-            raise ScenarioError(f"tenant #{index}: missing required key {key!r}")
-    workload_params = dict(entry.get("workload_params", {}))
+def _tenant_from_model(model: TenantModel, *, index: int,
+                       scenario_seed: int) -> TenantSpec:
+    workload_params = dict(model.workload_params)
     workload_params.setdefault("seed", scenario_seed)
-    arrival_params = dict(entry.get("arrival_params", {}))
+    arrival_params = dict(model.arrival_params)
     # Offset by index + 1 so no tenant's arrival stream shares a seed with
     # another tenant's, nor with the workload generators' default above.
     arrival_params.setdefault("seed", scenario_seed + index + 1)
     return TenantSpec(
-        name=entry["name"],
-        workload=entry["workload"],
-        arrival=make_arrival(entry["arrival"], **arrival_params),
+        name=model.name,
+        workload=model.workload,
+        arrival=make_arrival(model.arrival, **arrival_params),
         workload_params=workload_params,
-        weight=float(entry.get("weight", 1.0)),
-        slo_latency_s=entry.get("slo_latency_s"),
+        weight=model.weight,
+        slo_latency_s=model.slo_latency_s,
     )
 
 
 def scenario_from_dict(config: dict) -> ScenarioSpec:
     """Build a :class:`ScenarioSpec` from a plain config dict.
 
+    A thin wrapper over the declarative spec layer: the config parses into a
+    :class:`~repro.spec.models.ScenarioModel` (types, defaults, ranges,
+    unknown-key rejection with JSON paths, ``"version"`` handling), which
+    :func:`scenario_from_model` converts into the runtime spec.
+
     Raises:
         ScenarioError: on unknown or missing keys (typos fail loudly rather
-            than silently falling back to defaults).
+            than silently falling back to defaults).  Spec-layer failures are
+            :class:`~repro.errors.ScenarioSpecError`, a subclass.
     """
-    unknown = set(config) - _SCENARIO_KEYS
-    if unknown:
-        raise ScenarioError(f"unknown scenario keys {sorted(unknown)}")
-    if "name" not in config:
-        raise ScenarioError("scenario config needs a 'name'")
-    seed = int(config.get("seed", 0))
+    return scenario_from_model(from_dict(ScenarioModel, config))
+
+
+def scenario_from_model(model: ScenarioModel) -> ScenarioSpec:
+    """Convert a parsed :class:`~repro.spec.models.ScenarioModel` to a spec.
+
+    The service half of the model/service split.  Everything the spec layer
+    cannot know lives here: seed-defaulting for tenant workload and arrival
+    streams, arrival-process construction, and compiling the nested
+    ``kv_tiers`` / ``faults`` models into their runtime objects.
+    """
     tenants = tuple(
-        _tenant_from_dict(entry, index=index, scenario_seed=seed)
-        for index, entry in enumerate(config.get("tenants", []))
+        _tenant_from_model(entry, index=index, scenario_seed=model.seed)
+        for index, entry in enumerate(model.tenants)
     )
     kv_tiers = None
-    if "kv_tiers" in config:
-        kv_tiers = tier_config_from_dict(config["kv_tiers"], path="kv_tiers")
+    if model.kv_tiers is not None:
+        kv_tiers = tier_config_from_model(model.kv_tiers)
     faults = None
-    if "faults" in config:
-        faults = fault_schedule_from_dict(
-            config["faults"], path="faults",
-            default_replicas=config.get("replicas"),
+    if model.faults is not None:
+        faults = fault_schedule_from_model(
+            model.faults, default_replicas=model.replicas
         )
     return ScenarioSpec(
-        name=config["name"],
+        name=model.name,
         tenants=tenants,
-        engine=config.get("engine", "prefillonly"),
-        setup=config.get("setup", "h100"),
-        replicas=config.get("replicas"),
-        router=config.get("router", "user-id"),
-        max_queue_depth=config.get("max_queue_depth"),
-        autoscale=config.get("autoscale"),
-        seed=seed,
-        max_input_length=config.get("max_input_length"),
+        engine=model.engine,
+        setup=model.setup,
+        replicas=model.replicas,
+        router=model.router,
+        max_queue_depth=model.max_queue_depth,
+        autoscale=to_dict(model.autoscale) if model.autoscale is not None else None,
+        seed=model.seed,
+        max_input_length=model.max_input_length,
         kv_tiers=kv_tiers,
         faults=faults,
     )
@@ -259,12 +260,17 @@ class ScenarioResult:
         result: The fleet-level simulation result.
         tenants: Per-tenant reports, in the spec's tenant order.
         trace_path: Where the request stream was recorded, if it was.
+        fleet: The live :class:`~repro.cluster.Fleet`, only when the run was
+            asked to ``keep_fleet`` (the KV-residency invariant checks read
+            it); None by default so suite results stay cheaply picklable
+            across worker processes.
     """
 
     spec: ScenarioSpec
     result: FleetSimulationResult
     tenants: list[TenantReport] = field(default_factory=list)
     trace_path: Path | None = None
+    fleet: Fleet | None = None
 
 
 def build_mix(spec: ScenarioSpec) -> MixedTrace:
@@ -350,7 +356,8 @@ def _tenant_reports(spec: ScenarioSpec, requests: list[Request],
 def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
                  requests: list[Request] | None = None,
                  use_event_queue: bool = True,
-                 engine_fast_paths: bool = True) -> ScenarioResult:
+                 engine_fast_paths: bool = True,
+                 keep_fleet: bool = False) -> ScenarioResult:
     """Run a scenario end to end.
 
     Args:
@@ -362,6 +369,9 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
             skips workload generation and arrival assignment entirely.
         use_event_queue / engine_fast_paths: Fast-path switches, identical
             results either way (see :class:`repro.cluster.Fleet`).
+        keep_fleet: Attach the simulated fleet to the result so callers (the
+            invariant checks) can inspect end-of-run KV residency; off by
+            default because a fleet does not pickle across suite workers.
     """
     if requests is None:
         requests = build_mix(spec).requests
@@ -390,6 +400,7 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
             retried_ids=fleet.retried_request_ids if chaos else None,
         ),
         trace_path=trace_path,
+        fleet=fleet if keep_fleet else None,
     )
 
 

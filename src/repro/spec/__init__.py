@@ -1,0 +1,71 @@
+"""repro.spec — the declarative, versioned config-spec layer.
+
+Declare a config format once (:func:`spec_model` + :func:`spec_field`) and
+get parsing, normalization, docs tables, and hypothesis fuzzing from the one
+declaration.  See :mod:`repro.spec.core` for the engine,
+:mod:`repro.spec.models` for the shipped models, and :mod:`repro.spec.fuzz`
+for the derived strategies.
+"""
+
+from repro.errors import SpecError, SpecVersionError
+from repro.spec.core import (
+    MISSING,
+    FieldInfo,
+    field_rows,
+    from_dict,
+    is_spec_model,
+    normalize,
+    spec_field,
+    spec_fields,
+    spec_model,
+    to_dict,
+)
+from repro.spec.models import (
+    FAULT_KINDS,
+    TIER_NAMES,
+    AutoscaleSpec,
+    BrownoutEventSpec,
+    ClusterTierSpec,
+    CrashEventSpec,
+    FaultsSpec,
+    GenerateSpec,
+    HostTierSpec,
+    KVTiersSpec,
+    OutageEventSpec,
+    RecoverEventSpec,
+    ScenarioModel,
+    SlowEventSpec,
+    TenantModel,
+    parse_fault_event,
+)
+
+__all__ = [
+    "MISSING",
+    "FieldInfo",
+    "SpecError",
+    "SpecVersionError",
+    "spec_field",
+    "spec_model",
+    "spec_fields",
+    "is_spec_model",
+    "from_dict",
+    "to_dict",
+    "normalize",
+    "field_rows",
+    "TIER_NAMES",
+    "FAULT_KINDS",
+    "HostTierSpec",
+    "ClusterTierSpec",
+    "KVTiersSpec",
+    "CrashEventSpec",
+    "RecoverEventSpec",
+    "SlowEventSpec",
+    "BrownoutEventSpec",
+    "OutageEventSpec",
+    "GenerateSpec",
+    "FaultsSpec",
+    "AutoscaleSpec",
+    "TenantModel",
+    "ScenarioModel",
+    "parse_fault_event",
+]

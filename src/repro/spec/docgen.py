@@ -1,0 +1,93 @@
+"""Generate the ``docs/SPEC.md`` field tables from the spec declarations.
+
+One source of truth: every table row here is emitted from the same
+:func:`repro.spec.core.spec_field` metadata the parsers and the fuzzer run
+on, so the docs cannot drift from the code — ``scripts/docs_check.py``
+regenerates the document and fails when the tracked copy differs, and
+``prefillonly spec`` prints the same tables to the terminal.
+"""
+
+from __future__ import annotations
+
+from repro.spec.core import field_rows, spec_fields
+from repro.spec.models import DOCUMENTED_MODELS
+
+__all__ = ["model_table", "spec_markdown", "GENERATED_BEGIN", "GENERATED_END"]
+
+#: Markers bounding the generated region of ``docs/SPEC.md``.  Everything
+#: between them is machine-written; prose outside them is hand-maintained.
+GENERATED_BEGIN = "<!-- generated-spec-tables:begin (scripts/docs_check.py --update-spec) -->"
+GENERATED_END = "<!-- generated-spec-tables:end -->"
+
+_HEADER = ["field", "type", "default", "constraints", "description"]
+
+
+def model_table(cls) -> str:
+    """The markdown field table of one spec model."""
+    rows = field_rows(cls)
+    lines = [
+        "| " + " | ".join(_HEADER) + " |",
+        "|" + "|".join("---" for _ in _HEADER) + "|",
+    ]
+    for row in rows:
+        cells = [
+            f"`{row['field']}`", row["type"], row["default"],
+            row["constraints"], row["description"],
+        ]
+        # A literal | inside a cell (e.g. "a | b | c" in a doc string) would
+        # split the markdown column; escape it.
+        cells = [cell.replace("|", "\\|") for cell in cells]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _model_section(cls) -> str:
+    info = cls.__spec__
+    doc = (cls.__doc__ or "").strip().splitlines()[0]
+    versions = ", ".join(str(v) for v in info.versions)
+    return "\n".join([
+        f"### `{info.title}` — {cls.__name__}",
+        "",
+        f"{doc}  Supported `\"version\"` values: {versions}.",
+        "",
+        model_table(cls),
+    ])
+
+
+def spec_markdown() -> str:
+    """The full generated region of ``docs/SPEC.md`` (between the markers)."""
+    sections = [_model_section(cls) for cls in DOCUMENTED_MODELS]
+    return "\n\n".join(sections) + "\n"
+
+
+def render_spec_doc(template: str) -> str:
+    """Replace the generated region of a SPEC.md text with fresh tables.
+
+    Raises:
+        ValueError: when the markers are missing or out of order.
+    """
+    begin = template.find(GENERATED_BEGIN)
+    end = template.find(GENERATED_END)
+    if begin < 0 or end < 0 or end < begin:
+        raise ValueError(
+            "docs/SPEC.md is missing its generated-spec-tables markers"
+        )
+    head = template[: begin + len(GENERATED_BEGIN)]
+    tail = template[end:]
+    return head + "\n\n" + spec_markdown() + "\n" + tail
+
+
+def model_summary_rows() -> list[dict]:
+    """One row per documented model, for the ``prefillonly spec`` overview."""
+    rows = []
+    for cls in DOCUMENTED_MODELS:
+        info = cls.__spec__
+        fields = spec_fields(cls)
+        required = sum(1 for f in fields.values() if f.required)
+        rows.append({
+            "model": cls.__name__,
+            "path": info.title,
+            "fields": len(fields),
+            "required": required,
+        })
+    return rows

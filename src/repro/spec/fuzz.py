@@ -1,0 +1,272 @@
+"""Hypothesis strategies for *valid* configs, derived from the spec models.
+
+Two layers:
+
+* :func:`field_strategy` / :func:`model_strategy` — generic derivation from
+  the :func:`~repro.spec.core.spec_field` declarations (``fuzz`` bounds,
+  ``choices``, types), usable for any model whose fields are independent;
+* :func:`scenario_configs` — the composite the scenario fuzzer runs on:
+  whole random scenario documents (arrivals × tenants × kv_tiers × faults ×
+  fleet shapes) that are *valid by construction*, including the cross-field
+  rules a generic derivation cannot know (``recover_at`` after ``at``,
+  overlap-free fault windows, workload-specific parameter names).
+
+Everything generated here must simulate in milliseconds: tenant sizes,
+arrival rates, and fault horizons are deliberately tiny so CI can push
+hundreds of scenarios through the full fleet simulator per run (see
+``tests/test_scenario_fuzz.py`` and ``make fuzz``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.spec.core import FieldInfo, spec_fields
+from repro.spec.models import (
+    AutoscaleSpec,
+    GenerateSpec,
+    KVTiersSpec,
+)
+
+__all__ = [
+    "field_strategy",
+    "model_strategy",
+    "kv_tiers_configs",
+    "autoscale_configs",
+    "fault_configs",
+    "tenant_configs",
+    "scenario_configs",
+]
+
+#: Number of decimal places generated floats are rounded to — keeps failing
+#: examples short enough to paste into a scenario JSON for replay.
+_FLOAT_PLACES = 3
+
+
+def _bounded_floats(lo: float, hi: float):
+    return st.floats(lo, hi, allow_nan=False, allow_infinity=False).map(
+        lambda value: round(value, _FLOAT_PLACES)
+    )
+
+
+def field_strategy(info: FieldInfo):
+    """Derive a strategy for one field from its declaration, or None.
+
+    Uses the declared ``fuzz`` bounds when present (a ``(lo, hi)`` numeric
+    tuple, or a tuple of strings to sample from), falling back to ``choices``
+    and plain booleans.  Fields a generic derivation cannot handle (nested
+    models, polymorphic lists) return None and are composed by hand.
+    """
+    if info.fuzz is not None:
+        if all(isinstance(value, str) for value in info.fuzz):
+            return st.sampled_from(info.fuzz)
+        lo, hi = info.fuzz
+        if int in info.types and float not in info.types:
+            return st.integers(int(lo), int(hi))
+        return _bounded_floats(float(lo), float(hi))
+    if info.choices is not None:
+        return st.sampled_from(info.choices)
+    if info.types == (bool,):
+        return st.booleans()
+    return None
+
+
+def model_strategy(cls, *, required_only: bool = False, **overrides):
+    """A dict strategy for a spec model with independent fields.
+
+    Required fields always appear; optional ones appear or not (hypothesis
+    explores both, so defaulting paths get fuzzed too).  Fields without a
+    derivable strategy are skipped unless supplied via ``overrides``.
+
+    Args:
+        cls: The spec-model class.
+        required_only: Only emit required keys (smallest valid config).
+        **overrides: Per-field strategy (or omit a field with ``None``).
+    """
+    mandatory: dict = {}
+    optional: dict = {}
+    for name, info in spec_fields(cls).items():
+        if name in overrides:
+            strategy = overrides[name]
+        else:
+            strategy = field_strategy(info)
+        if strategy is None:
+            continue
+        if info.required:
+            mandatory[name] = strategy
+        elif not required_only:
+            optional[name] = strategy
+    return st.fixed_dictionaries(mandatory, optional=optional)
+
+
+def kv_tiers_configs():
+    """Random valid ``"kv_tiers"`` blocks (always enabled — a disabled block
+    is byte-identical to omission, which the scenario composite already
+    covers by omitting the key)."""
+    tier_models = spec_fields(KVTiersSpec)["tiers"].key_models
+    tier_entries = st.fixed_dictionaries({}, optional={
+        name: model_strategy(model) for name, model in tier_models.items()
+    })
+    return model_strategy(
+        KVTiersSpec,
+        enabled=st.just(True),
+        tiers=tier_entries,
+        demote_on_evict=st.booleans(),
+        prefetch=st.booleans(),
+        promotion=st.sampled_from(spec_fields(KVTiersSpec)["promotion"].choices),
+    )
+
+
+def autoscale_configs():
+    """Random valid ``"autoscale"`` blocks (max >= min by construction)."""
+    return model_strategy(AutoscaleSpec)
+
+
+@st.composite
+def fault_configs(draw, *, replicas: int):
+    """Random valid ``"faults"`` blocks for a fleet of ``replicas`` replicas.
+
+    Cross-field rules hold by construction: ``recover_at`` strictly after
+    ``at``, and at most one window per (kind, replica) so same-kind windows
+    can never overlap.
+    """
+    events: list[dict] = []
+    for _ in range(draw(st.integers(0, 2))):
+        replica = draw(st.integers(0, replicas - 1))
+        at = draw(_bounded_floats(0.0, 30.0))
+        event = {"kind": "crash", "replica": replica, "at": at}
+        if draw(st.booleans()):
+            event["recover_at"] = round(at + draw(_bounded_floats(0.5, 30.0)), _FLOAT_PLACES)
+        events.append(event)
+    for replica in range(replicas):
+        if draw(st.booleans()):
+            continue
+        events.append({
+            "kind": "slow", "replica": replica,
+            "at": draw(_bounded_floats(0.0, 20.0)),
+            "duration": draw(_bounded_floats(1.0, 20.0)),
+            "multiplier": draw(_bounded_floats(1.2, 6.0)),
+        })
+    if draw(st.booleans()):
+        events.append({
+            "kind": "brownout",
+            "at": draw(_bounded_floats(0.0, 20.0)),
+            "duration": draw(_bounded_floats(1.0, 20.0)),
+            "multiplier": draw(_bounded_floats(1.2, 6.0)),
+        })
+    if draw(st.booleans()):
+        events.append({
+            "kind": "outage",
+            "at": draw(_bounded_floats(0.0, 20.0)),
+            "duration": draw(_bounded_floats(1.0, 20.0)),
+        })
+    config: dict = {"enabled": True, "events": events}
+    if draw(st.booleans()):
+        config["warm_restore_blocks"] = draw(st.integers(0, 128))
+    if draw(st.booleans()):
+        config["generate"] = draw(model_strategy(
+            GenerateSpec,
+            mtbf_s=_bounded_floats(20.0, 120.0),
+            mttr_s=_bounded_floats(2.0, 20.0),
+            horizon_s=_bounded_floats(10.0, 60.0),
+            replicas=None,  # inherit the scenario's replica count
+        ))
+    return config
+
+
+#: Per-arrival-process parameter strategies — names must match the factories
+#: in :data:`repro.simulation.arrival.ARRIVAL_FACTORIES` (pinned by a test).
+_ARRIVAL_STRATEGIES: dict = {
+    "poisson": {"rate": _bounded_floats(1.0, 8.0)},
+    "uniform": {"rate": _bounded_floats(1.0, 8.0)},
+    "burst": {"at_time": _bounded_floats(0.0, 5.0)},
+    "mmpp": {
+        "base_rate": _bounded_floats(1.0, 4.0),
+        "burst_rate": _bounded_floats(5.0, 12.0),
+        "mean_quiet_seconds": _bounded_floats(2.0, 10.0),
+        "mean_burst_seconds": _bounded_floats(1.0, 5.0),
+        "start_bursting": st.booleans(),
+    },
+    "diurnal": {
+        "mean_rate": _bounded_floats(1.0, 6.0),
+        "period_seconds": _bounded_floats(10.0, 60.0),
+        "amplitude": _bounded_floats(0.1, 0.9),
+    },
+    "flash-crowd": {
+        "base_rate": _bounded_floats(1.0, 3.0),
+        "spike_rate": _bounded_floats(6.0, 12.0),
+        "first_spike_at": _bounded_floats(1.0, 5.0),
+        "spike_seconds": _bounded_floats(1.0, 5.0),
+        "spike_interval_seconds": _bounded_floats(8.0, 20.0),
+    },
+    "closed-loop": {
+        "num_clients": st.integers(2, 4),
+        "mean_think_seconds": _bounded_floats(0.2, 2.0),
+    },
+}
+
+#: Per-workload parameter strategies, sized so every generated trace stays a
+#: handful of small requests (the fuzzer simulates hundreds of scenarios).
+_WORKLOAD_STRATEGIES: dict = {
+    "post-recommendation": {
+        "num_users": st.integers(2, 4),
+        "posts_per_user": st.integers(2, 5),
+    },
+    "credit-verification": {
+        "num_users": st.integers(2, 3),
+        "months_of_history": st.integers(1, 2),
+        "month_min_tokens": st.just(200),
+        "month_max_tokens": st.just(400),
+    },
+}
+
+
+@st.composite
+def tenant_configs(draw, *, name: str):
+    """One random valid tenant entry."""
+    workload = draw(st.sampled_from(sorted(_WORKLOAD_STRATEGIES)))
+    arrival = draw(st.sampled_from(sorted(_ARRIVAL_STRATEGIES)))
+    tenant: dict = {
+        "name": name,
+        "workload": workload,
+        "workload_params": draw(st.fixed_dictionaries(_WORKLOAD_STRATEGIES[workload])),
+        "arrival": arrival,
+        "arrival_params": draw(st.fixed_dictionaries(_ARRIVAL_STRATEGIES[arrival])),
+    }
+    if draw(st.booleans()):
+        tenant["weight"] = draw(st.sampled_from([0.5, 0.75, 1.0]))
+    if draw(st.booleans()):
+        tenant["slo_latency_s"] = draw(_bounded_floats(0.5, 10.0))
+    return tenant
+
+
+@st.composite
+def scenario_configs(draw):
+    """Whole random valid scenario documents, small enough to simulate fast.
+
+    Dimensions covered: tenant count and composition (workload × params ×
+    arrival process × weight × SLO), replica count, router, admission
+    control, autoscaling, tiered KV cache, and fault schedules — the full
+    config space the spec layer accepts, not just the cookbook corner.
+    """
+    replicas = draw(st.integers(1, 3))
+    num_tenants = draw(st.integers(1, 2))
+    config: dict = {
+        "name": "fuzz-scenario",
+        "replicas": replicas,
+        "router": draw(st.sampled_from(["user-id", "least-loaded", "prefix-affinity"])),
+        "seed": draw(st.integers(0, 2**16)),
+        "tenants": [
+            draw(tenant_configs(name=f"tenant-{index}"))
+            for index in range(num_tenants)
+        ],
+    }
+    if draw(st.booleans()):
+        config["max_queue_depth"] = draw(st.integers(2, 32))
+    if draw(st.booleans()):
+        config["autoscale"] = draw(autoscale_configs())
+    if draw(st.booleans()):
+        config["kv_tiers"] = draw(kv_tiers_configs())
+    if draw(st.booleans()):
+        config["faults"] = draw(fault_configs(replicas=replicas))
+    return config

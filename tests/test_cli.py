@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -83,3 +85,63 @@ def test_fleet_command_with_admission_and_autoscaling(capsys):
     assert code == 0
     output = capsys.readouterr().out
     assert "Fleet summary" in output
+
+
+def test_fleet_malformed_faults_file_exits_2_with_json_path(tmp_path, capsys):
+    schedule = tmp_path / "faults.json"
+    schedule.write_text(json.dumps(
+        {"events": [{"kind": "crash", "replica": 0}]}
+    ))
+    code = main([
+        "fleet", "--setup", "h100", "--workload", "post-recommendation",
+        "--num-users", "2", "--replicas", "2", "--qps", "3.0",
+        "--faults", str(schedule),
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "prefillonly: error:" in err
+    assert "faults.events[0]" in err
+    assert "missing required key 'at'" in err
+
+
+def test_scenario_run_malformed_config_exits_2_with_json_path(tmp_path, capsys):
+    config = tmp_path / "scenario.json"
+    config.write_text(json.dumps({
+        "name": "bad",
+        "tenants": [{
+            "name": "t", "workload": "post-recommendation",
+            "arrival": "poisson", "arrival_params": {"rate": 2.0},
+        }],
+        "kv_tiers": {"enabled": True, "promotion_threshold": 0},
+    }))
+    code = main(["scenario", "run", "--config", str(config)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "prefillonly: error:" in err
+    assert "kv_tiers.promotion_threshold" in err
+
+
+def test_scenario_run_unknown_key_exits_2_naming_the_key(tmp_path, capsys):
+    config = tmp_path / "scenario.json"
+    config.write_text(json.dumps({"name": "bad", "tenants": [], "repliacs": 2}))
+    code = main(["scenario", "run", "--config", str(config)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "prefillonly: error:" in err
+    assert "repliacs" in err
+
+
+def test_spec_overview_lists_every_model(capsys):
+    from repro.spec.models import DOCUMENTED_MODELS
+
+    assert main(["spec"]) == 0
+    output = capsys.readouterr().out
+    for cls in DOCUMENTED_MODELS:
+        assert cls.__name__ in output
+
+
+def test_spec_single_model_prints_field_table(capsys):
+    assert main(["spec", "--model", "KVTiersSpec"]) == 0
+    output = capsys.readouterr().out
+    assert "promotion_threshold" in output
+    assert "demote_on_evict" in output

@@ -1,0 +1,125 @@
+"""Golden identity tests: the spec-layer parsers must not change any result.
+
+The refactor contract of the ``repro.spec`` layer is that every cookbook
+config parses to *byte-identical* simulation results: the goldens under
+``tests/golden/spec_identity.json`` were captured from the pre-refactor
+hand-rolled parsers (``scenario_from_dict`` / ``tier_config_from_dict`` /
+``fault_schedule_from_dict``), and every file under ``examples/scenarios/``
+and ``examples/faults/`` must keep reproducing them exactly — summaries,
+fleet reports, per-tenant tables, and compiled fault schedules, with no
+float rounded and no tolerance applied.
+
+Regenerate (only when *adding* a new example, never to paper over a diff)::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_spec_identity.py -q
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.faults import fault_schedule_from_dict
+from repro.simulation.scenario import load_scenario, run_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCENARIO_DIR = REPO_ROOT / "examples" / "scenarios"
+FAULTS_DIR = REPO_ROOT / "examples" / "faults"
+GOLDEN_PATH = Path(__file__).parent / "golden" / "spec_identity.json"
+
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDENS") == "1"
+
+SCENARIO_FILES = sorted(path.name for path in SCENARIO_DIR.glob("*.json"))
+FAULT_FILES = sorted(path.name for path in FAULTS_DIR.glob("*.json"))
+
+
+def _scenario_fingerprint(name: str) -> dict:
+    """Everything observable from one scenario run, JSON-serialisable.
+
+    Floats are emitted unrounded; ``json.dumps`` uses the shortest
+    round-trip repr, so equality after a JSON round trip is bit equality.
+    """
+    spec = load_scenario(SCENARIO_DIR / name)
+    result = run_scenario(spec)
+    return {
+        "summary": dataclasses.asdict(result.result.summary),
+        "fleet": result.result.fleet.as_dict(),
+        "tenants": [report.as_dict() for report in result.tenants],
+        "num_events": result.result.num_events,
+        "finished_ids": sorted(r.request_id for r in result.result.finished),
+        "rejected_ids": sorted(r.request_id for r in result.result.rejected),
+    }
+
+
+def _fault_fingerprint(name: str) -> list:
+    """The compiled event tuple of one fault-schedule config file."""
+    config = json.loads((FAULTS_DIR / name).read_text(encoding="utf-8"))
+    if "faults" in config:
+        config = config["faults"]
+    schedule = fault_schedule_from_dict(config, default_replicas=4)
+    return [
+        [event.time, event.kind,
+         event.replica if event.replica is not None else "-",
+         event.multiplier, event.seq]
+        for event in schedule
+    ]
+
+
+def _load_goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file missing: {GOLDEN_PATH}; regenerate with "
+            "REPRO_UPDATE_GOLDENS=1"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def _update_golden(section: str, key: str, value) -> None:
+    goldens = (
+        json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        if GOLDEN_PATH.exists() else {}
+    )
+    goldens.setdefault(section, {})[key] = value
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(goldens, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.mark.parametrize("name", SCENARIO_FILES)
+def test_scenario_results_match_pre_refactor_golden(name):
+    fingerprint = json.loads(json.dumps(_scenario_fingerprint(name)))
+    if UPDATE:
+        _update_golden("scenarios", name, fingerprint)
+        return
+    goldens = _load_goldens()
+    assert name in goldens.get("scenarios", {}), (
+        f"no golden for {name}; regenerate with REPRO_UPDATE_GOLDENS=1"
+    )
+    assert fingerprint == goldens["scenarios"][name]
+
+
+@pytest.mark.parametrize("name", FAULT_FILES)
+def test_fault_schedule_compiles_to_pre_refactor_golden(name):
+    fingerprint = json.loads(json.dumps(_fault_fingerprint(name)))
+    if UPDATE:
+        _update_golden("fault_schedules", name, fingerprint)
+        return
+    goldens = _load_goldens()
+    assert name in goldens.get("fault_schedules", {}), (
+        f"no golden for {name}; regenerate with REPRO_UPDATE_GOLDENS=1"
+    )
+    assert fingerprint == goldens["fault_schedules"][name]
+
+
+def test_every_example_has_a_golden():
+    """A new example file must come with a captured golden."""
+    if UPDATE:
+        return
+    goldens = _load_goldens()
+    assert sorted(goldens.get("scenarios", {})) == SCENARIO_FILES
+    assert sorted(goldens.get("fault_schedules", {})) == FAULT_FILES
