@@ -6,7 +6,8 @@
 #   make bench-tiers - only the KV-tiering benchmark (tiered vs suffix discard)
 #   make bench-sweep - serial vs parallel engine sweep (byte-identical results)
 #   make perf        - perf-regression harness vs the committed BENCH baseline
-#   make fuzz        - scenario fuzzer, full 200-example derandomized profile
+#   make fuzz        - scenario + metamorphic fuzzers, full 200-example derandomized profile
+#   make test-shard-identity - sharded-engine differential suite (byte-identity at shards=4)
 #   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
 #   make examples    - run every example script end to end
 #   make scenarios   - smoke-run every CLI example in docs/SCENARIOS.md
@@ -17,12 +18,15 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Worker processes for the parallel experiment runner targets.
 PERF_WORKERS ?= 4
 #: Committed baseline the perf target compares against (see docs/PERFORMANCE.md).
-PERF_BASELINE ?= BENCH_pr5.json
+PERF_BASELINE ?= BENCH_pr7.json
 
-.PHONY: test bench bench-paper bench-tiers bench-sweep perf fuzz docs-check examples scenarios
+.PHONY: test test-shard-identity bench bench-paper bench-tiers bench-sweep perf fuzz docs-check examples scenarios
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-shard-identity:
+	$(PYTHON) -m pytest tests/test_sharded_identity.py tests/test_sharded_merge.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -s
@@ -42,7 +46,7 @@ perf:
 		--max-regression 0.20 --normalize
 
 fuzz:
-	HYPOTHESIS_PROFILE=fuzz $(PYTHON) -m pytest tests/test_scenario_fuzz.py -q
+	HYPOTHESIS_PROFILE=fuzz $(PYTHON) -m pytest tests/test_scenario_fuzz.py tests/test_metamorphic.py -q
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

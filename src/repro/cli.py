@@ -39,7 +39,12 @@ from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HAR
 from repro.kvcache.tiers import PROMOTION_POLICIES, tier_config_from_dict
 from repro.model.config import MODEL_REGISTRY, get_model
 from repro.hardware.gpu import GPU_REGISTRY
-from repro.simulation.arrival import ARRIVAL_FACTORIES, BurstArrivalProcess, PoissonArrivalProcess
+from repro.simulation.arrival import (
+    ARRIVAL_FACTORIES,
+    BurstArrivalProcess,
+    DiurnalArrivalProcess,
+    PoissonArrivalProcess,
+)
 from repro.simulation.routing import ROUTER_FACTORIES, make_router
 from repro.simulation.scenario import (
     load_scenario,
@@ -176,12 +181,27 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     faults = None
     if args.faults is not None:
         faults = _load_fault_schedule(args.faults, default_replicas=args.replicas)
-    if args.qps is None:
-        arrivals = BurstArrivalProcess(seed=args.seed)
+    qps = args.qps if args.qps is not None else 8.0
+    if args.arrival == "diurnal":
+        arrivals = DiurnalArrivalProcess(mean_rate=qps, seed=args.seed)
+    elif args.arrival == "poisson" or (args.arrival == "auto" and args.qps is not None):
+        arrivals = PoissonArrivalProcess(rate=qps, seed=args.seed)
     else:
-        arrivals = PoissonArrivalProcess(rate=args.qps, seed=args.seed)
+        arrivals = BurstArrivalProcess(seed=args.seed)
     requests = arrivals.assign(list(trace.requests))
-    result = simulate_fleet(fleet, requests, faults=faults)
+    result = simulate_fleet(
+        fleet, requests, faults=faults,
+        shards=args.shards,
+        lookahead=args.lookahead,
+        shard_workers=args.shard_workers,
+        shard_seed=args.seed,
+    )
+    if result.sharding is not None:
+        info = result.sharding
+        print(
+            f"sharding: {info['shards']} shards, {info['mode']} mode "
+            f"({info['executed']}), lookahead {info['lookahead_s']:.2e}s"
+        )
     print(format_fleet_report(result))
     return 0
 
@@ -320,6 +340,11 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=sorted(ROUTER_FACTORIES))
     fleet_parser.add_argument("--qps", type=float, default=None,
                               help="Poisson arrival rate (default: burst arrivals)")
+    fleet_parser.add_argument("--arrival", default="auto",
+                              choices=["auto", "burst", "poisson", "diurnal"],
+                              help="arrival process (auto: poisson when --qps is "
+                                   "given, else burst; diurnal uses --qps as the "
+                                   "mean rate)")
     fleet_parser.add_argument("--max-queue-depth", type=int, default=None,
                               help="enable admission control at this per-replica depth")
     fleet_parser.add_argument("--autoscale-min", type=int, default=1)
@@ -345,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="inject a chaos schedule from this JSON file "
                                    "(a \"faults\" block; see docs/FAULTS.md)")
     fleet_parser.add_argument("--seed", type=int, default=0)
+    fleet_parser.add_argument("--shards", type=int, default=1,
+                              help="partition replicas across this many shards "
+                                   "(results are byte-identical on any count; "
+                                   "see docs/SHARDING.md)")
+    fleet_parser.add_argument("--shard-workers", type=int, default=None,
+                              help="worker processes for decoupled sharded runs "
+                                   "(default: one per shard up to the CPU count; "
+                                   "1 keeps the shard engines in-process)")
+    fleet_parser.add_argument("--lookahead", type=float, default=None,
+                              help="conservative cross-shard lookahead window in "
+                                   "simulated seconds (default: derived from the "
+                                   "modelled interconnect latency)")
     fleet_parser.set_defaults(func=_cmd_fleet)
 
     scenario_parser = subparsers.add_parser(

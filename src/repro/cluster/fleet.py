@@ -120,6 +120,11 @@ class Fleet:
             including autoscaled clones — into it, warms the routed replica
             before dispatch (router-hint prefetch), and drains retiring
             replicas' hot prefixes into the shared store on scale-down.
+        cluster_service: Optional wrapper applied to the freshly built L3
+            store before any replica binds a reference to it — how sharded
+            runs interpose the versioned, latency-stamped
+            :class:`~repro.kvcache.tiers.ShardStoreBus` message facade.  Must
+            be transparent (pure delegation) so results stay byte-identical.
     """
 
     def __init__(self, replica_specs: list[ReplicaSpec], model: ModelConfig, *,
@@ -130,7 +135,8 @@ class Fleet:
                  name: str = "fleet",
                  use_event_queue: bool = True,
                  engine_fast_paths: bool = True,
-                 tier_config: TierConfig | None = None) -> None:
+                 tier_config: TierConfig | None = None,
+                 cluster_service=None) -> None:
         if not replica_specs:
             raise ConfigurationError("a fleet needs at least one replica spec")
         self.name = name
@@ -155,6 +161,11 @@ class Fleet:
             self.cluster_store = build_cluster_store(
                 self.tier_config, block_bytes=kv_block_bytes(self.template.engine, model)
             )
+            if self.cluster_store is not None and cluster_service is not None:
+                # Wrap the L3 store in a cross-shard service facade (e.g.
+                # repro.kvcache.tiers.ShardStoreBus) *before* replicas bind
+                # their references, so every tier operation flows through it.
+                self.cluster_store = cluster_service(self.cluster_store)
         self.stats = FleetStats()
         #: Replicas advanced by the most recent :meth:`advance_to` call —
         #: identical on the heap and scan paths, so the driving loop can count
@@ -283,6 +294,41 @@ class Fleet:
         return all(
             state.instance.is_idle() for state in self._active + self._draining
         )
+
+    @property
+    def engine_fast_paths(self) -> bool:
+        """Whether replicas are built with the engine-level fast paths."""
+        return self._engine_fast_paths
+
+    def shard_manifest(self) -> list[tuple[int, str, ReplicaSpec | None]]:
+        """``(key, instance name, spec)`` per routable replica, in router order.
+
+        The picklable description :mod:`repro.simulation.sharded` partitions
+        across shards — everything a worker process needs (together with the
+        fleet's model and MIL) to rebuild a replica byte-identically.
+        """
+        return [
+            (state.key, state.instance.name, state.spec)
+            for state in self._active
+        ]
+
+    def shard_events(self, queue) -> None:
+        """Swap event discovery onto a sharded queue with the same interface.
+
+        ``queue`` (a :class:`~repro.simulation.sharded.ShardedEventQueue`)
+        must reproduce the single-queue drain order; every live next-event
+        time is re-registered so the swap is seamless mid-run.  All later
+        ``update`` / ``discard`` calls — including fault deliveries for a
+        replica — land in the shard that owns the replica's key.
+        """
+        if self._events is None:
+            raise ConfigurationError(
+                "sharded event discovery requires the event-queue fleet path "
+                "(use_event_queue=True)"
+            )
+        for state in self._all_serving():
+            queue.update(state.key, state.instance.next_event_time())
+        self._events = queue
 
     def _all_serving(self) -> list[_ReplicaState]:
         return self._active + self._draining

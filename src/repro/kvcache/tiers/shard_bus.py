@@ -1,0 +1,191 @@
+"""The L3 store as a cross-shard service: versioned, latency-stamped messages.
+
+In a sharded fleet run (:mod:`repro.simulation.sharded`) the
+:class:`~repro.kvcache.tiers.cluster_store.ClusterPrefixStore` is the one
+piece of mutable state every shard touches, so it becomes a *service* behind
+a message bus rather than a bare object: every state-changing operation a
+replica performs — publish, fetch, discard, availability toggle — flows
+through :class:`ShardStoreBus`, which stamps it as a :class:`StoreMessage`
+carrying
+
+* the store's monotonic **version** after the operation (the store bumps its
+  counter on every publish / fetch-move / eviction / availability change, so
+  versions totally order the cross-shard mutations);
+* the modelled **latency** the message pays on the store's interconnect —
+  the link's base latency plus the transfer time of any blocks moved.  This
+  is the same physics the store already charges callers via
+  ``transfer_time``; the stamp surfaces it per message, and its per-link
+  floor is exactly the conservative lookahead window
+  :func:`~repro.simulation.sharded.derive_lookahead` derives: no message
+  can be delivered sooner than one link-latency after it is sent.
+
+The bus is installed by the fleet's ``cluster_service`` constructor hook —
+*before* any replica binds a reference — and is pure delegation: every call
+forwards to the wrapped store unchanged, so a sharded tiered run stays
+byte-identical to the unsharded path (``tests/test_sharded_identity.py``
+pins this for the tiered cookbook scenarios).  Only counters and a bounded
+ring of recent messages are kept, so the bus adds O(1) memory per operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.kvcache.tiers.cluster_store import ClusterPrefixStore
+
+__all__ = ["StoreMessage", "ShardStoreBus"]
+
+#: Recent messages retained for inspection (counters cover the full run).
+_RING_SIZE = 256
+
+
+@dataclass(frozen=True)
+class StoreMessage:
+    """One cross-shard store operation, stamped for deterministic replay.
+
+    Attributes:
+        seq: Bus-local sequence number (the fixed tie-break key: messages
+            with equal versions — read-only probes — order by ``seq``).
+        kind: Operation name (``publish`` / ``fetch`` / ``discard`` /
+            ``availability``).
+        replica: Originating replica name (``""`` for fleet-level control
+            messages such as availability toggles).
+        version: Store version *after* the operation was applied.
+        latency_s: Modelled delivery latency of the message on the store's
+            link: base link latency plus the transfer time of the blocks
+            moved (zero blocks still pays the latency floor).
+        blocks: KV blocks moved by the operation (0 for control messages).
+    """
+
+    seq: int
+    kind: str
+    replica: str
+    version: int
+    latency_s: float
+    blocks: int = 0
+
+
+class ShardStoreBus:
+    """Transparent message facade over a :class:`ClusterPrefixStore`.
+
+    Exposes the store's full public surface (replicas and the fleet talk to
+    it exactly as before) while journalling every state-changing operation
+    as a :class:`StoreMessage`.  Reads (`` in ``, ``match_length``,
+    ``owner_of``, ``resident_hashes``) are *not* messages — they are shard-
+    local probes against the synchronized state and carry no version bump.
+    """
+
+    def __init__(self, store: ClusterPrefixStore) -> None:
+        self._store = store
+        self._seq = 0
+        self.message_counts: dict[str, int] = {}
+        self.blocks_moved = 0
+        #: Most recent messages, oldest first (bounded ring).
+        self.recent_messages: deque[StoreMessage] = deque(maxlen=_RING_SIZE)
+
+    # ------------------------------------------------------------- messages
+
+    def _stamp(self, kind: str, replica: str, blocks: int) -> StoreMessage:
+        self._seq += 1
+        message = StoreMessage(
+            seq=self._seq,
+            kind=kind,
+            replica=replica,
+            version=self._store.version,
+            latency_s=self._store.transfer_time(blocks),
+            blocks=blocks,
+        )
+        self.message_counts[kind] = self.message_counts.get(kind, 0) + 1
+        self.blocks_moved += blocks
+        self.recent_messages.append(message)
+        return message
+
+    @property
+    def num_messages(self) -> int:
+        """Total messages stamped so far."""
+        return self._seq
+
+    # ------------------------------------------- delegated state (read-only)
+
+    @property
+    def store(self) -> ClusterPrefixStore:
+        """The wrapped store."""
+        return self._store
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._store.capacity_blocks
+
+    @property
+    def block_bytes(self) -> int:
+        return self._store.block_bytes
+
+    @property
+    def num_blocks(self) -> int:
+        return self._store.num_blocks
+
+    @property
+    def link(self):
+        return self._store.link
+
+    @property
+    def version(self) -> int:
+        return self._store.version
+
+    @property
+    def stats(self):
+        return self._store.stats
+
+    @property
+    def available(self) -> bool:
+        return self._store.available
+
+    @property
+    def cost_multiplier(self) -> float:
+        return self._store.cost_multiplier
+
+    @cost_multiplier.setter
+    def cost_multiplier(self, value: float) -> None:
+        # The fault subsystem's brownout dial; forwarded, not a message of
+        # its own (the brownout fault event is already globally sequenced).
+        self._store.cost_multiplier = value
+
+    def __contains__(self, content_hash: int) -> bool:
+        return content_hash in self._store
+
+    def owner_of(self, content_hash: int):
+        return self._store.owner_of(content_hash)
+
+    def resident_hashes(self) -> list[int]:
+        return self._store.resident_hashes()
+
+    def match_length(self, block_hashes) -> int:
+        return self._store.match_length(block_hashes)
+
+    def transfer_time(self, num_blocks: int) -> float:
+        return self._store.transfer_time(num_blocks)
+
+    # ------------------------------------------------- delegated mutations
+
+    def publish(self, replica: str, block_hashes) -> tuple[int, float]:
+        stored, seconds = self._store.publish(replica, block_hashes)
+        self._stamp("publish", replica, stored)
+        return stored, seconds
+
+    def fetch_block(self, replica: str, content_hash: int) -> bool:
+        fetched = self._store.fetch_block(replica, content_hash)
+        self._stamp("fetch", replica, 1 if fetched else 0)
+        return fetched
+
+    def discard_owned(self, replica: str, content_hash: int) -> bool:
+        discarded = self._store.discard_owned(replica, content_hash)
+        self._stamp("discard", replica, 1 if discarded else 0)
+        return discarded
+
+    def set_available(self, available: bool) -> None:
+        self._store.set_available(available)
+        self._stamp("availability", "", 0)
+
+    def clear(self) -> None:
+        self._store.clear()

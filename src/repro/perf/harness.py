@@ -246,6 +246,49 @@ def _case_fleet_32_loop(scale: str) -> tuple[int, str]:
     )
 
 
+def _case_fleet_1024_shard(scale: str) -> tuple[int, str]:
+    """The "millions of users" fleet size: 1024 replicas, diurnal arrivals, sharded.
+
+    Runs the decoupled sharded engine (:mod:`repro.simulation.sharded`) over a
+    user-id-routed fleet — one user per replica so the whole fleet sees
+    traffic.  Shard count and worker processes come from ``REPRO_SHARD_COUNT``
+    (default 4) and ``REPRO_SHARD_WORKERS`` (default 1: shard engines run
+    in-process, deterministic everywhere, and safe inside the harness's own
+    worker pools).  On a multi-core machine, compare
+    ``REPRO_SHARD_WORKERS=4`` against ``REPRO_SHARD_COUNT=1`` to measure the
+    parallel speedup (see ``docs/SHARDING.md``); the result signature is
+    identical on every shard/worker combination — the differential contract
+    ``tests/test_sharded_identity.py`` pins — so the memo and parallel
+    cross-checks hold regardless.
+
+    ``tiny`` runs 128 replicas to keep the tier-1 suite fast; ``small`` and
+    ``paper`` run the full 1024.
+    """
+    replicas = 128 if scale == "tiny" else 1024
+    mean_rate = replicas / 4.0
+    shards = int(os.environ.get("REPRO_SHARD_COUNT", "4"))
+    workers = int(os.environ.get("REPRO_SHARD_WORKERS", "1"))
+    spec = get_engine_spec("prefillonly")
+    setup = get_hardware_setup("h100")
+    trace = get_workload("post-recommendation", num_users=replicas,
+                         posts_per_user=2, seed=5)
+    fleet = Fleet.for_setup(
+        spec, setup,
+        max_input_length=trace.max_request_tokens,
+        num_replicas=replicas,
+        router=make_router("user-id", replicas),
+        name=f"harness-{replicas}-shard",
+    )
+    requests = make_arrival(
+        "diurnal", mean_rate=mean_rate, period_seconds=30.0, amplitude=0.6,
+        seed=11,
+    ).assign(list(trace.requests))
+    result = simulate_fleet(
+        fleet, requests, shards=shards, shard_workers=workers, shard_seed=5
+    )
+    return result.num_events, _signature(_summary_payload(result))
+
+
 def _case_analytic(scale: str) -> tuple[int, str]:
     """The analytic models alone: JCT grids, estimator fits, decode curves, MIL.
 
@@ -309,6 +352,7 @@ PINNED_CASES = {
     "fleet-tiered": _case_fleet_tiered,
     "fleet-chaos": _case_fleet_chaos,
     "fleet-32-loop": _case_fleet_32_loop,
+    "fleet-1024-shard": _case_fleet_1024_shard,
     "analytic": _case_analytic,
 }
 

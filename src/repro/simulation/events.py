@@ -80,6 +80,9 @@ class EventQueue:
         source and then :meth:`update`\\ s it with its new next-event time.
         Keys are returned in event-time order (ties in key order).
         """
+        # Kept as its own loop rather than delegating to pop_due_entries:
+        # this is the fleet loop's per-event hot path, and the (time, key)
+        # tuples the entries variant builds are pure overhead here.
         due: list[int] = []
         limit = now + epsilon
         heap = self._heap
@@ -93,4 +96,29 @@ class EventQueue:
             heapq.heappop(heap)
             self._times[key] = None
             due.append(key)
+        return due
+
+    def pop_due_entries(self, now: float, *,
+                        epsilon: float = 0.0) -> list[tuple[float, int]]:
+        """Like :meth:`pop_due`, but return the ``(time, key)`` pairs.
+
+        The times let a caller holding several queues merge their due lists
+        back into the single-queue global order — since keys are globally
+        unique, sorting merged entries by ``(time, key)`` reproduces exactly
+        what one queue holding every source would have returned (the law
+        :class:`repro.simulation.sharded.ShardedEventQueue` relies on).
+        """
+        due: list[tuple[float, int]] = []
+        limit = now + epsilon
+        heap = self._heap
+        while heap:
+            time, key = heap[0]
+            if self._times.get(key) != time:
+                heapq.heappop(heap)
+                continue
+            if time > limit:
+                break
+            heapq.heappop(heap)
+            self._times[key] = None
+            due.append((time, key))
         return due

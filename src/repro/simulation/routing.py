@@ -37,6 +37,16 @@ class Router(abc.ABC):
     #: skip the O(instances) depth collection on every submit.
     needs_queue_depths: bool = True
 
+    #: Whether :meth:`route` reads live instance state captured through
+    #: :meth:`observe_instances` (e.g. :class:`PrefixAffinityRouter` walking
+    #: replica prefix trees).  Conservative default: True.  Routers whose
+    #: decisions depend only on the request stream itself set this False —
+    #: together with ``needs_queue_depths = False`` that makes routing a pure
+    #: function of the arrival sequence, which is what lets
+    #: :mod:`repro.simulation.sharded` pre-route arrivals and run shards in
+    #: parallel worker processes.
+    consults_instances: bool = True
+
     def __init__(self, num_instances: int) -> None:
         if num_instances <= 0:
             raise ValueError("num_instances must be positive")
@@ -75,6 +85,7 @@ class UserIdRouter(Router):
     """Round-robin assignment of *users* to instances (the paper's routing)."""
 
     needs_queue_depths = False
+    consults_instances = False
 
     def __init__(self, num_instances: int) -> None:
         super().__init__(num_instances)
@@ -106,6 +117,8 @@ class UserIdRouter(Router):
 
 class LeastLoadedRouter(Router):
     """Send every request to the instance with the shortest waiting queue."""
+
+    consults_instances = False
 
     def route(self, request: Request, queue_depths: list[int]) -> int:
         """Return the index with the smallest queue depth (lowest index on ties)."""

@@ -67,7 +67,7 @@ from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
 from repro.errors import ScenarioError
 from repro.faults import FaultSchedule, fault_schedule_from_model
 from repro.hardware.cluster import get_hardware_setup
-from repro.kvcache.tiers import TierConfig
+from repro.kvcache.tiers import ShardStoreBus, TierConfig
 from repro.kvcache.tiers.config import tier_config_from_model
 from repro.perf.runner import ParallelRunner, resolve_runner
 from repro.simulation.arrival import make_arrival
@@ -122,12 +122,25 @@ class ScenarioSpec:
     #: ``docs/FAULTS.md``).  None or ``enabled: false`` injects nothing, with
     #: results byte-identical to a config that omits the block entirely.
     faults: FaultSchedule | None = None
+    #: Shard count for the sharded simulation engine (see
+    #: ``docs/SHARDING.md``).  1 runs the original unsharded loop; any value
+    #: produces byte-identical results (pinned by the differential suite).
+    shards: int = 1
+    #: Explicit conservative lookahead window in simulated seconds; None
+    #: derives it from the modelled interconnect latency.
+    lookahead: float | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
             raise ScenarioError(f"scenario {self.name!r} has no tenants")
         if self.replicas is not None and self.replicas < 1:
             raise ScenarioError(f"scenario {self.name!r}: replicas must be >= 1")
+        if self.shards < 1:
+            raise ScenarioError(f"scenario {self.name!r}: shards must be >= 1")
+        if self.lookahead is not None and self.lookahead <= 0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: lookahead must be positive"
+            )
         if self.autoscale is not None:
             unknown = set(self.autoscale) - _AUTOSCALE_KEYS
             if unknown:
@@ -203,6 +216,8 @@ def scenario_from_model(model: ScenarioModel) -> ScenarioSpec:
         max_input_length=model.max_input_length,
         kv_tiers=kv_tiers,
         faults=faults,
+        shards=model.shards,
+        lookahead=model.lookahead,
     )
 
 
@@ -297,6 +312,9 @@ def _build_fleet(spec: ScenarioSpec, max_input_length: int, *,
         use_event_queue=use_event_queue,
         engine_fast_paths=engine_fast_paths,
         tier_config=spec.kv_tiers,
+        # Sharded tiered runs talk to the L3 store through the versioned,
+        # latency-stamped message bus (transparent: results are identical).
+        cluster_service=ShardStoreBus if spec.shards > 1 else None,
     )
 
 
@@ -391,7 +409,18 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
         use_event_queue=use_event_queue, engine_fast_paths=engine_fast_paths,
     )
     chaos = spec.faults is not None and spec.faults.active
-    result = simulate_fleet(fleet, requests, faults=spec.faults)
+    result = simulate_fleet(
+        fleet, requests, faults=spec.faults,
+        shards=spec.shards,
+        lookahead=spec.lookahead,
+        # Scenario runs keep the shard engines in-process: the suite runner
+        # already parallelizes across scenarios, and `keep_fleet` callers
+        # (the invariant checks) need the fully simulated fleet object,
+        # which only the globally-sequenced lockstep mode produces.
+        shard_workers=1,
+        shard_mode="lockstep" if keep_fleet else "auto",
+        shard_seed=spec.seed,
+    )
     return ScenarioResult(
         spec=spec,
         result=result,

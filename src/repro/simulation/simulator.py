@@ -185,6 +185,12 @@ class FleetSimulationResult:
     fleet: FleetSummary
     cache_stats: list[dict] = field(default_factory=list)
     num_events: int = 0
+    #: Sharded-run metadata (mode, shard count, lookahead window, per-shard
+    #: seeds) — ``None`` on unsharded runs.  Deliberately excluded from
+    #: :func:`~repro.simulation.invariants.scenario_fingerprint`: a sharded
+    #: run is byte-identical to the unsharded path *except* for this record
+    #: of how it was executed.
+    sharding: dict | None = None
 
     @property
     def num_finished(self) -> int:
@@ -202,7 +208,12 @@ class FleetSimulationResult:
 def simulate_fleet(fleet, requests: list[Request], *,
                    max_simulated_seconds: float = 1e7,
                    max_events: int = 10_000_000,
-                   faults=None) -> FleetSimulationResult:
+                   faults=None,
+                   shards: int = 1,
+                   lookahead: float | None = None,
+                   shard_workers: int | None = None,
+                   shard_mode: str = "auto",
+                   shard_seed: int = 0) -> FleetSimulationResult:
     """Replay ``requests`` against a :class:`~repro.cluster.fleet.Fleet`.
 
     The event merge mirrors :func:`simulate`: the earliest of the next arrival
@@ -230,10 +241,51 @@ def simulate_fleet(fleet, requests: list[Request], *,
         max_events: Safety limit on processed events.
         faults: Optional :class:`~repro.faults.FaultSchedule` of chaos events
             to inject (None or a disabled/empty schedule injects nothing).
+        shards: Partition the fleet's replicas across this many shards (see
+            :mod:`repro.simulation.sharded`).  ``1`` (the default) is the
+            original unsharded path, untouched; any ``shards`` value produces
+            byte-identical results.
+        lookahead: Conservative cross-shard lookahead window in simulated
+            seconds; ``None`` derives it from the modelled interconnect
+            latency (:func:`~repro.simulation.sharded.derive_lookahead`).
+        shard_workers: Worker processes for the decoupled parallel path.
+            ``None`` uses one per shard up to the CPU count; ``<= 1`` runs the
+            shard engines serially in-process (identical results).
+        shard_mode: ``"auto"`` (parallel when the fleet is decoupled, else
+            lockstep) or ``"lockstep"`` (always globally sequenced — required
+            when the caller inspects the fleet object after the run).
+        shard_seed: Base seed the per-shard RNG streams are derived from
+            (:func:`~repro.perf.runner.derive_task_seeds`).
 
     Raises:
         SimulationError: if either safety limit is hit.
     """
+    sharding_info = None
+    if shards > 1:
+        # Lazy import: `sharded` imports this module for the result types.
+        from repro.simulation import sharded as _sharded
+
+        plan = _sharded.ShardPlan(shards, base_seed=shard_seed)
+        window = _sharded.derive_lookahead(fleet, lookahead)
+        mode = _sharded.resolve_shard_mode(shard_mode, fleet, faults)
+        if mode == "parallel":
+            return _sharded.simulate_fleet_decoupled(
+                fleet, requests, plan,
+                lookahead=window,
+                shard_workers=shard_workers,
+                max_simulated_seconds=max_simulated_seconds,
+                max_events=max_events,
+            )
+        fleet.shard_events(_sharded.ShardedEventQueue(plan))
+        sharding_info = {
+            "mode": "lockstep",
+            "shards": shards,
+            "workers": 1,
+            "executed": "serial",
+            "lookahead_s": window,
+            "shard_seeds": list(plan.shard_seeds),
+        }
+
     pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
     arrival_index = 0
     now = 0.0
@@ -312,4 +364,5 @@ def simulate_fleet(fleet, requests: list[Request], *,
         ),
         cache_stats=fleet.cache_stats(),
         num_events=events,
+        sharding=sharding_info,
     )

@@ -7,9 +7,20 @@ Two layers:
   ``choices``, types), usable for any model whose fields are independent;
 * :func:`scenario_configs` — the composite the scenario fuzzer runs on:
   whole random scenario documents (arrivals × tenants × kv_tiers × faults ×
-  fleet shapes) that are *valid by construction*, including the cross-field
-  rules a generic derivation cannot know (``recover_at`` after ``at``,
-  overlap-free fault windows, workload-specific parameter names).
+  fleet shapes × shard counts) that are *valid by construction*, including
+  the cross-field rules a generic derivation cannot know (``recover_at``
+  after ``at``, overlap-free fault windows, workload-specific parameter
+  names);
+* the **config-pair mutators** (:func:`capacity_pair_configs`,
+  :func:`admission_pair_configs`, :func:`interconnect_pair_configs`) — each
+  draws a ``(base, better)`` pair of scenario documents identical except for
+  one resource knob turned strictly in the favourable direction, for the
+  metamorphic relations ``tests/test_metamorphic.py`` checks (more replicas
+  never lower goodput, a deeper admission queue never sheds more, a faster
+  interconnect never raises mean latency).  The pairs draw from a restricted
+  family — no faults, no autoscaler, a fixed router per relation — because
+  the relations are monotonicity claims about *resources*, and adaptive
+  control loops may legitimately trade the measured metric for another.
 
 Everything generated here must simulate in milliseconds: tenant sizes,
 arrival rates, and fault horizons are deliberately tiny so CI can push
@@ -36,6 +47,9 @@ __all__ = [
     "fault_configs",
     "tenant_configs",
     "scenario_configs",
+    "capacity_pair_configs",
+    "admission_pair_configs",
+    "interconnect_pair_configs",
 ]
 
 #: Number of decimal places generated floats are rounded to — keeps failing
@@ -269,4 +283,121 @@ def scenario_configs(draw):
         config["kv_tiers"] = draw(kv_tiers_configs())
     if draw(st.booleans()):
         config["faults"] = draw(fault_configs(replicas=replicas))
+    if draw(st.booleans()):
+        # Exercise the sharded engine: the invariant test's second run takes
+        # the "auto" mode, so decoupled draws pin lockstep == parallel too.
+        config["shards"] = draw(st.integers(2, 4))
     return config
+
+
+# --------------------------------------------------------------------------
+# Config-pair mutators for the metamorphic relations.
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def _metamorphic_base_configs(draw, *, router: str, admission: bool,
+                              tiers: bool = False):
+    """A restricted scenario family the metamorphic relations hold over.
+
+    No faults and no autoscaler (adaptive control may trade the measured
+    metric for resilience or cost), a caller-fixed router (so the pair's
+    routing policy is the same function on both sides), and the usual tiny
+    tenant mixes.  ``build_mix`` derives the request stream from tenants and
+    seed alone, so both sides of every pair see the identical offered load.
+    """
+    config: dict = {
+        "name": "metamorphic-base",
+        "replicas": draw(st.integers(1, 3)),
+        "router": router,
+        "seed": draw(st.integers(0, 2**16)),
+        "tenants": [
+            draw(tenant_configs(name=f"tenant-{index}"))
+            for index in range(draw(st.integers(1, 2)))
+        ],
+    }
+    if admission:
+        config["max_queue_depth"] = draw(st.integers(1, 4))
+    if tiers:
+        config["kv_tiers"] = {
+            "enabled": True,
+            "tiers": {
+                "host": {
+                    "capacity_gib": draw(_bounded_floats(0.25, 4.0)),
+                    "link": "pcie-gen4",
+                },
+            },
+        }
+    return config
+
+
+@st.composite
+def capacity_pair_configs(draw):
+    """``(base, more)``: ``more`` only adds replicas.
+
+    Relation: added replica capacity never lowers goodput.  Uses the
+    least-loaded router — its decision ("the emptiest queue") extends
+    pointwise to a larger fleet, unlike hash routers whose assignment
+    reshuffles with the modulus.
+    """
+    base = draw(_metamorphic_base_configs(router="least-loaded",
+                                          admission=True))
+    more = dict(base)
+    more["replicas"] = base["replicas"] + draw(st.integers(1, 2))
+    return base, more
+
+
+@st.composite
+def admission_pair_configs(draw):
+    """``(base, deeper)``: ``deeper`` only raises ``max_queue_depth``.
+
+    Relation: a deeper admission queue never sheds more requests.  Uses the
+    user-id router — routing is a pure function of the arrival sequence, so
+    the deeper queue admits a superset per replica with no feedback through
+    routing decisions.
+    """
+    base = draw(_metamorphic_base_configs(router="user-id", admission=True))
+    deeper = dict(base)
+    deeper["max_queue_depth"] = base["max_queue_depth"] + draw(st.integers(1, 8))
+    return base, deeper
+
+
+@st.composite
+def interconnect_pair_configs(draw):
+    """``(base, faster)``: ``faster`` only upgrades the L2 tier link.
+
+    Relation: a faster interconnect (pcie-gen4 -> nvlink: 18x the bandwidth,
+    a third of the latency) never raises mean latency.  No admission control
+    on either side, so every request finishes and the means average the same
+    request population.
+
+    Two extra restrictions make the relation exact rather than statistical:
+    every tenant bursts at the same instant (when all arrivals precede all
+    completions, each replica's FIFO order alone determines the cache state
+    at every request start, so both sides take identical hit/miss decisions
+    and differ only in the charged transfer time — with staggered arrivals,
+    a completion-time shift can flip which of two prefix-sharing requests
+    wins the GPU-resident prefix, and the loser's L2 fetch may cost more
+    than the resident hit it displaced), and the shared L3 tier is disabled
+    (a publish from one replica lands in the other replicas' lookup path at
+    a link-dependent time, breaking the per-replica argument).
+    """
+    base = draw(_metamorphic_base_configs(router="user-id", admission=False,
+                                          tiers=True))
+    at_time = draw(_bounded_floats(0.0, 5.0))
+    for tenant in base["tenants"]:
+        tenant["arrival"] = "burst"
+        tenant["arrival_params"] = {"at_time": at_time}
+    base["kv_tiers"] = {
+        **base["kv_tiers"],
+        "tiers": {**base["kv_tiers"]["tiers"],
+                  "cluster": {"capacity_gib": 0.0}},
+    }
+    faster = dict(base)
+    faster["kv_tiers"] = {
+        **base["kv_tiers"],
+        "tiers": {**base["kv_tiers"]["tiers"],
+                  "host": {**base["kv_tiers"]["tiers"]["host"],
+                           "link": "nvlink"}},
+    }
+    return base, faster

@@ -519,6 +519,18 @@ class ScenarioModel:
         default=None, model=FaultsSpec,
         doc="Optional chaos schedule (see ``docs/FAULTS.md``).",
     )
+    shards: int = spec_field(
+        default=1, types=int, minimum=1, fuzz=(1, 4),
+        doc="Shard count for the sharded simulation engine "
+            "(see ``docs/SHARDING.md``); results are byte-identical on any "
+            "value.",
+    )
+    lookahead: float | None = spec_field(
+        default=None, types=(int, float), minimum=0.0, exclusive_minimum=True,
+        convert=float,
+        doc="Conservative cross-shard lookahead window in simulated seconds; "
+            "omit to derive it from the modelled interconnect latency.",
+    )
 
 
 #: The models whose field tables ``docs/SPEC.md`` is generated from,

@@ -27,7 +27,7 @@ def test_pinned_suite_composition_is_stable():
     """BENCH files key on these names; renames break the perf trajectory."""
     assert list(PINNED_CASES) == [
         "single-engine", "fleet-4", "fleet-tiered", "fleet-chaos",
-        "fleet-32-loop", "analytic",
+        "fleet-32-loop", "fleet-1024-shard", "analytic",
     ]
 
 
@@ -135,11 +135,11 @@ def test_perf_report_compare_detects_regression(tmp_path):
 
 
 def test_committed_baseline_matches_schema():
-    """The repo-root BENCH_pr5.json baseline stays loadable and complete."""
-    path = REPO_ROOT / "BENCH_pr5.json"
-    assert path.exists(), "BENCH_pr5.json baseline missing from the repo root"
+    """The repo-root BENCH_pr7.json baseline stays loadable and complete."""
+    path = REPO_ROOT / "BENCH_pr7.json"
+    assert path.exists(), "BENCH_pr7.json baseline missing from the repo root"
     report = json.loads(path.read_text(encoding="utf-8"))
-    assert report["label"] == "pr5"
+    assert report["label"] == "pr7"
     assert {case["name"] for case in report["cases"]} == set(PINNED_CASES)
     assert report["memoization"]["identical"] is True
     assert report["parallel"]["identical"] is True

@@ -70,10 +70,16 @@ def test_fuzzer_matches_runtime_registries():
 @given(config=scenario_configs())
 def test_fuzzed_scenarios_satisfy_global_invariants(config):
     """Invariants 1-5 hold for every randomly generated valid scenario."""
+    # The replay JSON spells out the shard count and seed even when the draw
+    # left them defaulted: an InvariantViolation must be replayable on the
+    # exact engine configuration (sharded or not) and RNG streams that hit it.
+    replay = dict(config)
+    replay.setdefault("shards", 1)
+    replay.setdefault("seed", 0)
     note(
         "replay: save the JSON below to fail.json and run "
         "`prefillonly scenario run --config fail.json`\n"
-        + json.dumps(config, sort_keys=True)
+        + json.dumps(replay, sort_keys=True)
     )
     spec = scenario_from_dict(config)
     requests = build_mix(spec).requests
