@@ -8,6 +8,7 @@
 #   make perf        - perf-regression harness vs the committed BENCH baseline
 #   make fuzz        - scenario + metamorphic fuzzers, full 200-example derandomized profile
 #   make test-shard-identity - sharded-engine differential suite (byte-identity at shards=4)
+#   make obs-check   - validate observability exports + disabled-path seed fingerprints
 #   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
 #   make examples    - run every example script end to end
 #   make scenarios   - smoke-run every CLI example in docs/SCENARIOS.md
@@ -20,7 +21,7 @@ PERF_WORKERS ?= 4
 #: Committed baseline the perf target compares against (see docs/PERFORMANCE.md).
 PERF_BASELINE ?= BENCH_pr7.json
 
-.PHONY: test test-shard-identity bench bench-paper bench-tiers bench-sweep perf fuzz docs-check examples scenarios
+.PHONY: test test-shard-identity bench bench-paper bench-tiers bench-sweep perf fuzz obs-check docs-check examples scenarios
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +48,9 @@ perf:
 
 fuzz:
 	HYPOTHESIS_PROFILE=fuzz $(PYTHON) -m pytest tests/test_scenario_fuzz.py tests/test_metamorphic.py -q
+
+obs-check:
+	$(PYTHON) scripts/obs_check.py
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Observability export check (``make obs-check``, the CI ``obs`` job).
+
+Three assertions, any failure exits non-zero:
+
+1. **Exports validate** — runs one cookbook scenario with recording
+   force-enabled (``chaos_tiered_recovery`` by default, so fault, retry,
+   warm-restore, and tier events are all present), writes the Chrome trace
+   and the Prometheus snapshot to ``--out``, and validates the trace against
+   the checked-in ``schemas/chrome-trace.schema.json``.
+2. **Spans round-trip** — the ``repro-spans/v1`` export parses back and
+   re-exports byte-identically.
+3. **Disabled path is the seed** — every cookbook scenario, run *without*
+   observability at shards 1 and 4, reproduces the golden fingerprints in
+   ``tests/golden/cookbook_fingerprints.json`` bit for bit (recording is
+   opt-in; a build that never enables it must be indistinguishable from one
+   without the subsystem).
+
+Run with::
+
+    PYTHONPATH=src python scripts/obs_check.py            # full check
+    PYTHONPATH=src python scripts/obs_check.py --skip-fingerprints
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from repro.obs.exporters import (  # noqa: E402
+    export_chrome_trace,
+    export_prometheus,
+    export_spans,
+    parse_spans,
+)
+from repro.obs.logging import LOG_LEVELS, configure, get_logger  # noqa: E402
+from repro.obs.recorder import ObsConfig  # noqa: E402
+from repro.obs.schema import validate_json  # noqa: E402
+from repro.simulation.invariants import scenario_fingerprint  # noqa: E402
+from repro.simulation.scenario import load_scenario, run_scenario  # noqa: E402
+
+logger = get_logger("scripts.obs_check")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCENARIOS = REPO_ROOT / "examples" / "scenarios"
+SCHEMA = REPO_ROOT / "schemas" / "chrome-trace.schema.json"
+GOLDEN = REPO_ROOT / "tests" / "golden" / "cookbook_fingerprints.json"
+
+
+def check_exports(scenario: str, out_dir: Path) -> None:
+    """Export + validate the Chrome trace and Prometheus snapshot."""
+    spec = load_scenario(SCENARIOS / f"{scenario}.json")
+    spec = dataclasses.replace(spec, observability=ObsConfig(enabled=True))
+    data = run_scenario(spec).result.obs
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / f"{scenario}.trace.json"
+    trace_text = export_chrome_trace(data)
+    trace_path.write_text(trace_text, encoding="utf-8")
+    validate_json(json.loads(trace_text), json.loads(SCHEMA.read_text(encoding="utf-8")))
+    logger.info("chrome trace validates against %s: %s",
+                SCHEMA.relative_to(REPO_ROOT), trace_path)
+
+    prom_path = out_dir / f"{scenario}.prom.txt"
+    prom_path.write_text(export_prometheus(data), encoding="utf-8")
+    logger.info("prometheus snapshot written: %s", prom_path)
+
+    spans = export_spans(data)
+    if export_spans(parse_spans(spans)) != spans:
+        raise AssertionError("repro-spans/v1 export does not round-trip")
+    (out_dir / f"{scenario}.spans.jsonl").write_text(spans, encoding="utf-8")
+    logger.info("spans round-trip byte-identical (%d events)", len(data.events))
+
+
+def check_fingerprints() -> list[str]:
+    """Disabled-path fingerprints vs the golden seed file; returns mismatches."""
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    mismatches = []
+    for path in sorted(SCENARIOS.glob("*.json")):
+        for shards in (1, 4):
+            key = f"{path.stem}@shards={shards}"
+            spec = dataclasses.replace(load_scenario(path), shards=shards)
+            fingerprint = json.loads(json.dumps(scenario_fingerprint(run_scenario(spec))))
+            if golden.get(key) != fingerprint:
+                mismatches.append(key)
+                logger.error("fingerprint drifted from the seed: %s", key)
+            else:
+                logger.debug("fingerprint matches the seed: %s", key)
+    return mismatches
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="chaos_tiered_recovery",
+                        help="cookbook scenario stem to export (default: the "
+                             "chaos one, so fault events are exercised)")
+    parser.add_argument("--out", default="obs-exports",
+                        help="directory the exports are written to")
+    parser.add_argument("--skip-fingerprints", action="store_true",
+                        help="skip the (slower) disabled-path fingerprint sweep")
+    parser.add_argument("--log-level", default="info", choices=LOG_LEVELS)
+    args = parser.parse_args(argv)
+    configure(args.log_level)
+
+    check_exports(args.scenario, Path(args.out))
+    if not args.skip_fingerprints:
+        mismatches = check_fingerprints()
+        if mismatches:
+            logger.error("obs-check: %d fingerprint(s) drifted: %s",
+                         len(mismatches), ", ".join(mismatches))
+            return 1
+    print("obs-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,11 @@ import os
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from repro.obs.logging import LOG_LEVELS, configure, get_logger  # noqa: E402
+
+logger = get_logger("scripts.perf_report")
+
 
 def _load_bench(path: str) -> dict:
     file = Path(path)
@@ -72,8 +77,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     new_rates = _events_per_s(new)
     shared = [name for name in base_rates if name in new_rates]
     if not shared:
-        print("perf_report: no shared cases between the two bench files",
-              file=sys.stderr)
+        logger.error("no shared cases between the two bench files")
         return 1
     if args.normalize:
         base_rates = _normalized(base_rates, shared)
@@ -93,8 +97,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"  {name:<16} {old_rate:>12.1f} -> {new_rate:>12.1f} events/s "
               f"({change:+.1%}) {marker}")
     if failures:
-        print(f"perf_report: events/s regression in: {', '.join(failures)}",
-              file=sys.stderr)
+        logger.error("events/s regression in: %s", ", ".join(failures))
         return 1
     print("perf_report: no regression")
     return 0
@@ -117,8 +120,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"  (machine has {cores} core(s) < {args.workers} workers; "
                   "speedup floor not enforced)")
         elif result["speedup"] < args.min_speedup:
-            print(f"perf_report: sweep speedup {result['speedup']:.2f}x is below "
-                  f"the {args.min_speedup:.2f}x floor", file=sys.stderr)
+            logger.error("sweep speedup %.2fx is below the %.2fx floor",
+                         result["speedup"], args.min_speedup)
             return 1
     return 0
 
@@ -128,6 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="perf_report",
         description="Run / compare the perf-regression harness",
     )
+    parser.add_argument("--log-level", default="warning", choices=LOG_LEVELS,
+                        help="structured logging level for diagnostics")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run the pinned suite, write BENCH_<label>.json")
@@ -162,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure(args.log_level)
     return args.func(args)
 
 

@@ -22,7 +22,11 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from docs_check import CLI_LINE, FENCED_BLOCK  # noqa: E402  (shared extraction rules)
+from repro.obs.logging import LOG_LEVELS, configure, get_logger  # noqa: E402
+
+logger = get_logger("scripts.run_cookbook")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 COOKBOOK = REPO_ROOT / "docs" / "SCENARIOS.md"
@@ -46,11 +50,14 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--verbose", action="store_true",
                         help="stream each command's output instead of capturing it")
+    parser.add_argument("--log-level", default="info", choices=LOG_LEVELS,
+                        help="structured logging level for progress lines")
     args = parser.parse_args()
+    configure(args.log_level)
 
     commands = cookbook_commands()
     if not commands:
-        print(f"run-cookbook: no CLI lines found in {COOKBOOK}", file=sys.stderr)
+        logger.error("no CLI lines found in %s", COOKBOOK)
         return 1
 
     env = dict(os.environ)
@@ -58,13 +65,13 @@ def main() -> int:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     for index, command in enumerate(commands, start=1):
-        print(f"[{index}/{len(commands)}] {command}")
+        logger.info("[%d/%d] %s", index, len(commands), command)
         completed = subprocess.run(
             command, shell=True, cwd=REPO_ROOT, env=env,
             capture_output=not args.verbose, text=True,
         )
         if completed.returncode != 0:
-            print(f"run-cookbook: FAILED (exit {completed.returncode})", file=sys.stderr)
+            logger.error("FAILED (exit %d): %s", completed.returncode, command)
             if not args.verbose and completed.stderr:
                 print(completed.stderr, file=sys.stderr)
             return 1

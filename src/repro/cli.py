@@ -17,7 +17,13 @@ Subcommands map to the main things a user wants to do without writing code:
   cookbook in ``docs/SCENARIOS.md`` has one worked example per knob;
 * ``prefillonly perf``      — the perf-regression harness: time the pinned
   suite, cross-check memoized and parallel execution, and write
-  ``BENCH_<label>.json`` (see ``docs/PERFORMANCE.md``).
+  ``BENCH_<label>.json`` (see ``docs/PERFORMANCE.md``);
+* ``prefillonly obs``       — run a scenario with recording force-enabled and
+  ``export`` its spans / Chrome trace / Prometheus snapshot, or print the
+  ``summary`` / per-tenant ``slo`` report (see ``docs/OBSERVABILITY.md``).
+
+The top-level ``--log-level`` flag turns on structured stderr logging; every
+record carries the scenario seed and shard id.
 """
 
 from __future__ import annotations
@@ -38,6 +44,16 @@ from repro.faults import fault_schedule_from_dict
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
 from repro.kvcache.tiers import PROMOTION_POLICIES, tier_config_from_dict
 from repro.model.config import MODEL_REGISTRY, get_model
+from repro.obs.exporters import (
+    export_chrome_trace,
+    export_prometheus,
+    export_spans,
+    format_obs_summary,
+    format_slo_report,
+)
+from repro.obs.logging import LOG_LEVELS, configure as configure_logging
+from repro.obs.logging import set_context as set_log_context
+from repro.obs.recorder import ObsConfig
 from repro.hardware.gpu import GPU_REGISTRY
 from repro.simulation.arrival import (
     ARRIVAL_FACTORIES,
@@ -278,6 +294,55 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``prefillonly obs export --format`` choices -> exporter functions.
+_OBS_EXPORTERS = {
+    "spans": export_spans,
+    "chrome": export_chrome_trace,
+    "prometheus": export_prometheus,
+}
+
+
+def _obs_data(args: argparse.Namespace):
+    """Run the scenario with recording force-enabled and return its ObsData.
+
+    The config's own ``"observability"`` block (if any) supplies the
+    defaults; ``enabled`` is overridden to true so the ``obs`` subcommands
+    work on any scenario config, and ``--sample-interval`` overrides the
+    block's interval.  Forcing the recorder on never changes the simulation —
+    the identity tests pin that.
+    """
+    spec = load_scenario(args.config)
+    obs_config = spec.observability if spec.observability is not None else ObsConfig()
+    updates: dict = {"enabled": True}
+    if args.sample_interval is not None:
+        updates["sample_interval_s"] = args.sample_interval
+    spec = dataclasses.replace(
+        spec, observability=dataclasses.replace(obs_config, **updates)
+    )
+    set_log_context(seed=spec.seed)
+    return run_scenario(spec).result.obs
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    text = _OBS_EXPORTERS[args.format](_obs_data(args))
+    if args.out is None or args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} export to {args.out}")
+    return 0
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    print(format_obs_summary(_obs_data(args)))
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    print(format_slo_report(_obs_data(args)))
+    return 0
+
+
 def _cmd_scenario_arrivals(_args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(ARRIVAL_FACTORIES):
@@ -296,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="prefillonly",
         description="PrefillOnly (SOSP 2025) reproduction on a simulated GPU substrate",
     )
+    parser.add_argument("--log-level", default=None, choices=LOG_LEVELS,
+                        help="enable structured stderr logging at this level "
+                             "(records carry the scenario seed and shard id)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list models, GPUs, setups, engines")
@@ -447,6 +515,45 @@ def build_parser() -> argparse.ArgumentParser:
                              help="skip the parallel-vs-serial sweep cross-check")
     perf_parser.set_defaults(func=_cmd_perf)
 
+    obs_parser = subparsers.add_parser(
+        "obs", help="export / summarise a scenario run's spans & telemetry "
+                    "(see docs/OBSERVABILITY.md)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    def _add_obs_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--config", required=True,
+                         help="path to the scenario JSON config (recording is "
+                              "force-enabled; the run itself is unchanged)")
+        sub.add_argument("--sample-interval", type=float, default=None,
+                         help="override the metric sample interval "
+                              "(simulated seconds)")
+
+    obs_export = obs_sub.add_parser(
+        "export", help="run the scenario and export its recording"
+    )
+    _add_obs_common(obs_export)
+    obs_export.add_argument("--format", required=True,
+                            choices=sorted(_OBS_EXPORTERS),
+                            help="spans: repro-spans/v1 JSONL; chrome: "
+                                 "trace-event JSON (Perfetto-loadable); "
+                                 "prometheus: text exposition snapshot")
+    obs_export.add_argument("--out", default=None, metavar="FILE",
+                            help="output file (default: stdout)")
+    obs_export.set_defaults(func=_cmd_obs_export)
+
+    obs_summary = obs_sub.add_parser(
+        "summary", help="print a human-readable overview of the recording"
+    )
+    _add_obs_common(obs_summary)
+    obs_summary.set_defaults(func=_cmd_obs_summary)
+
+    obs_slo = obs_sub.add_parser(
+        "slo", help="print per-tenant SLO attainment from the recording"
+    )
+    _add_obs_common(obs_slo)
+    obs_slo.set_defaults(func=_cmd_obs_slo)
+
     from repro.spec.models import DOCUMENTED_MODELS
 
     spec_parser = subparsers.add_parser(
@@ -470,6 +577,8 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
     try:
         return args.func(args)
     except ReproError as exc:

@@ -42,6 +42,7 @@ from repro.hardware.interconnect import Interconnect
 from repro.kvcache.manager import CommitPolicy
 from repro.kvcache.tiers import ClusterPrefixStore, TierConfig, build_cluster_store
 from repro.model.config import ModelConfig, get_model
+from repro.obs.recorder import GLOBAL_KEY, NULL_RECORDER
 from repro.simulation.events import EventQueue
 from repro.simulation.routing import Router, UserIdRouter
 from repro.cluster.admission import AdmissionPolicy
@@ -125,6 +126,10 @@ class Fleet:
             runs interpose the versioned, latency-stamped
             :class:`~repro.kvcache.tiers.ShardStoreBus` message facade.  Must
             be transparent (pure delegation) so results stay byte-identical.
+        recorder: Optional :class:`~repro.obs.recorder.TraceRecorder` the
+            fleet, its replicas, and their tier stores report span events to;
+            None installs the no-op null recorder (the default, behaviour
+            identical to a build without the subsystem).
     """
 
     def __init__(self, replica_specs: list[ReplicaSpec], model: ModelConfig, *,
@@ -136,10 +141,15 @@ class Fleet:
                  use_event_queue: bool = True,
                  engine_fast_paths: bool = True,
                  tier_config: TierConfig | None = None,
-                 cluster_service=None) -> None:
+                 cluster_service=None,
+                 recorder=None) -> None:
         if not replica_specs:
             raise ConfigurationError("a fleet needs at least one replica spec")
         self.name = name
+        #: The observability recorder every hook site reports to; the shared
+        #: no-op :data:`~repro.obs.recorder.NULL_RECORDER` unless the run is
+        #: traced (see ``docs/OBSERVABILITY.md``).
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self.model = model
         self.max_input_length = max_input_length
         self.template = replica_specs[0]
@@ -254,6 +264,12 @@ class Fleet:
             tier_config=self.tier_config,
             cluster_store=self.cluster_store,
         )
+        instance.obs = self.obs
+        instance.obs_key = index
+        self.obs.register_replica(index, instance.name)
+        if instance.kv.tiers is not None:
+            instance.kv.tiers.obs = self.obs
+            instance.kv.tiers.obs_key = index
         state = _ReplicaState(instance=instance, created_at=now, spec=spec, key=index)
         if self._brownout != 1.0:
             # A replica built mid-brownout (autoscale or fault recovery)
@@ -288,6 +304,17 @@ class Fleet:
     def queue_depths(self) -> list[int]:
         """Waiting-queue depth of every routable replica."""
         return [state.instance.num_waiting for state in self._active]
+
+    def obs_gauge_rows(self) -> list[tuple]:
+        """Per-replica gauge rows for the metrics recorder's sample boundaries."""
+        return [
+            (
+                "queue_depth",
+                (("replica", state.instance.name),),
+                state.instance.num_waiting,
+            )
+            for state in self._active
+        ]
 
     def is_idle(self) -> bool:
         """True when no replica (routable or draining) has work left."""
@@ -356,6 +383,7 @@ class Fleet:
         has nowhere to park a request when the whole fleet is down.
         """
         self.stats.num_submitted += 1
+        self.obs.emit(now, GLOBAL_KEY, "submit", request=request.request_id)
         if self.autoscaler is not None:
             self.autoscaler.observe_arrival(now)
         if not self._active:
@@ -387,8 +415,15 @@ class Fleet:
                     request, arrival_time=arrival_time, now=now,
                     reason=f"{shed_reason_prefix}{decision.reason}",
                 ))
+                self.obs.emit(
+                    now, GLOBAL_KEY, "shed", request=request.request_id,
+                    reason=f"{shed_reason_prefix}{decision.reason}",
+                )
                 return None
-        return self._active[self.router.route(request, depths)]
+        state = self._active[self.router.route(request, depths)]
+        self.obs.emit(now, state.key, "route", request=request.request_id,
+                      replica=state.instance.name)
+        return state
 
     def _dispatch(self, request: Request, state: _ReplicaState, *,
                   enqueue_time: float, now: float) -> EngineInstance:
@@ -502,6 +537,8 @@ class Fleet:
         event = ScaleEvent(time=now, direction="up",
                            num_replicas=len(self._active), reason=reason)
         self.scale_events.append(event)
+        self.obs.emit(now, GLOBAL_KEY, "scale", direction="up",
+                      replicas=len(self._active), reason=reason)
         return event
 
     def scale_down(self, now: float, *, reason: str = "manual") -> ScaleEvent:
@@ -517,6 +554,8 @@ class Fleet:
         event = ScaleEvent(time=now, direction="down",
                            num_replicas=len(self._active), reason=reason)
         self.scale_events.append(event)
+        self.obs.emit(now, GLOBAL_KEY, "scale", direction="down",
+                      replicas=len(self._active), reason=reason)
         self._retire_drained(now)
         return event
 
@@ -595,6 +634,11 @@ class Fleet:
             self.resilience.num_faults_applied += 1
         else:
             self.resilience.num_faults_skipped += 1
+        self.obs.emit(
+            now, GLOBAL_KEY, "fault", fault=kind,
+            replica=event.replica if event.replica is not None else "-",
+            applied=applied, detail=detail,
+        )
         self.fault_log.append({
             "time_s": round(now, 3),
             "kind": kind,
@@ -664,6 +708,8 @@ class Fleet:
             self.resilience.mttr_samples.append(now - crash_time)
         restored = self._warm_restore(new_state)
         self.resilience.warm_restored_blocks += restored
+        if restored:
+            self.obs.emit(now, new_state.key, "warm_restore", blocks=restored)
         return True, (
             f"rebuilt as {new_state.instance.name!r}, "
             f"warm-restored {restored} block(s)"
@@ -705,6 +751,8 @@ class Fleet:
             request, arrival_time=arrival_time, now=now,
             reason="no active replicas (fleet-wide crash)",
         ))
+        self.obs.emit(now, GLOBAL_KEY, "shed", request=request.request_id,
+                      reason="no active replicas (fleet-wide crash)")
 
     def _resubmit(self, request: Request, now: float) -> EngineInstance | None:
         """Re-route one evacuated request after its replica crashed.
@@ -718,6 +766,7 @@ class Fleet:
         """
         self.resilience.num_retried += 1
         self.retried_request_ids.append(request.request_id)
+        self.obs.emit(now, GLOBAL_KEY, "retry", request=request.request_id)
         if not self._active:
             self._record_unserved(request, now, arrival_time=request.arrival_time)
             return None

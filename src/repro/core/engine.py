@@ -32,6 +32,7 @@ from repro.kvcache.manager import CommitPolicy, ExecutionLease, KVCacheManager
 from repro.model.config import ModelConfig
 from repro.model.latency import LatencyModel
 from repro.model.memory import PrefillMode
+from repro.obs.recorder import NULL_RECORDER
 from repro.workloads.trace import Request
 
 _TIME_EPSILON = 1e-9
@@ -329,6 +330,11 @@ class EngineInstance:
         #: 1.0 (the default) is a bit-exact no-op; the fault subsystem raises
         #: it to model a degraded (slow) node.
         self.slowdown: float = 1.0
+        #: Observability hooks: the recorder this engine reports start/finish
+        #: span events to (the no-op null recorder unless a traced fleet
+        #: installs its own) and the replica key events are attributed to.
+        self.obs = NULL_RECORDER
+        self.obs_key = 0
 
     # ---------------------------------------------------------------- state
 
@@ -485,6 +491,12 @@ class EngineInstance:
             cached_tokens=total_cached,
         )
         stage0.busy_time += stage_times[0]
+        self.obs.emit(
+            now, self.obs_key, "start",
+            request=engine_request.request_id,
+            queued_s=now - engine_request.enqueue_time,
+            cached_tokens=total_cached,
+        )
         return True
 
     def _complete_job(self, job: _RunningJob, now: float) -> FinishedRequest:
@@ -504,6 +516,15 @@ class EngineInstance:
             engine_name=self.spec.name,
         )
         self._finished.append(record)
+        attrs = {
+            "request": record.request_id,
+            "latency_s": record.latency,
+            "tokens": record.num_tokens,
+        }
+        tenant = engine_request.request.metadata.get("tenant")
+        if tenant is not None:
+            attrs["tenant"] = tenant
+        self.obs.emit(now, self.obs_key, "finish", **attrs)
         return record
 
     # --------------------------------------------------------------- events

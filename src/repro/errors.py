@@ -230,3 +230,20 @@ class TierCapacityError(TierError):
         self.tier = tier
         self.path = path
         super().__init__(f"{path}: {message}")
+
+
+class ObsError(ReproError):
+    """An observability recording, export, or parse operation is invalid."""
+
+
+class TraceSchemaError(ObsError):
+    """A JSON document failed validation against a checked-in trace schema.
+
+    Attributes:
+        path: JSON-pointer-style path of the offending value
+            (``"traceEvents[3].ph"``); empty for document-level failures.
+    """
+
+    def __init__(self, message: str, *, path: str = "") -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)

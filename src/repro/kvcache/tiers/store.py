@@ -45,6 +45,7 @@ from repro.kvcache.offload import CPUOffloadStore
 from repro.kvcache.tiers.cluster_store import ClusterPrefixStore
 from repro.kvcache.tiers.config import TierConfig
 from repro.kvcache.tiers.policy import PromotionPolicy, make_promotion_policy
+from repro.obs.recorder import NULL_RECORDER
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,13 @@ class TieredPrefixStore:
             (0 disables the conversion).
     """
 
+    #: Span recorder and replica key, rebound by ``Fleet._build_replica``
+    #: when observability is enabled.  Eviction cascades carry no timestamp,
+    #: so demotion events they trigger borrow ``_obs_now`` — the simulated
+    #: time of the last timestamped entry point (fetch/commit/prefetch/...).
+    obs = NULL_RECORDER
+    obs_key = 0
+
     def __init__(self, *, replica: str, block_size: int, block_bytes: int,
                  host: CPUOffloadStore | None = None,
                  cluster: ClusterPrefixStore | None = None,
@@ -133,6 +141,7 @@ class TieredPrefixStore:
         self._gpu_cache = None  # bound by the KVCacheManager
         self._hit_counts: dict[int, int] = {}
         self._version = 0
+        self._obs_now = 0.0
         # counters
         self._host_hits = 0
         self._cluster_hits = 0
@@ -254,6 +263,7 @@ class TieredPrefixStore:
         — whose ``tier_tokens`` need no recompute and whose ``load_seconds``
         is the transfer time to charge the request.
         """
+        self._obs_now = now
         host_blocks, cluster_blocks = self._walk_continuation(block_hashes, gpu_blocks)
         total = host_blocks + cluster_blocks
         if total == 0:
@@ -267,23 +277,35 @@ class TieredPrefixStore:
         load_seconds = self._batch_seconds(host_blocks, cluster_blocks)
         self._load_seconds += load_seconds
         self._version += 1
+        self.obs.emit(
+            now, self.obs_key, "tier_hit",
+            host_tokens=host_blocks * self._block_size,
+            cluster_tokens=cluster_blocks * self._block_size,
+            load_s=load_seconds,
+        )
 
         # Count every streamed block's hit, record cluster reads (fleet-wide
         # hit accounting), and find the leading contiguous promotable run.
         promote_run = 0
         run_unbroken = True
+        peer_reads = 0
         for content_hash in continuation:
             hits = self._hit_counts.get(content_hash, 0) + 1
             self._hit_counts[content_hash] = hits
             in_host = self._host is not None and content_hash in self._host
             if not in_host and self._cluster is not None and content_hash in self._cluster:
                 self._cluster.fetch_block(self.replica, content_hash)
+                peer_reads += 1
             if run_unbroken and self._policy.should_promote(content_hash, hits):
                 promote_run += 1
             else:
                 run_unbroken = False
+        if peer_reads:
+            self.obs.emit(now, self.obs_key, "peer_fetch", blocks=peer_reads)
         landed = self._promote_into_l1(block_hashes, gpu_blocks, promote_run, now)
         self._promoted += landed
+        if landed:
+            self.obs.emit(now, self.obs_key, "promote", blocks=landed)
 
         # The unpromoted tail stays put, with two touch-ups: host hits get an
         # LRU refresh, and cluster hits are staged into the host tier so the
@@ -371,6 +393,7 @@ class TieredPrefixStore:
         """
         if self._gpu_cache is None:
             return 0
+        self._obs_now = now
         hashes = tuple(block_hashes)
         gpu_match = self._gpu_cache.match_length(hashes)
         stop = gpu_match
@@ -387,7 +410,10 @@ class TieredPrefixStore:
         resident = self._gpu_cache.insert(
             hashes[:stop], block_size=self._block_size, now=now, allow_eviction=True
         )
-        self._promoted += self.reclaim(hashes[gpu_match:resident])
+        reclaimed = self.reclaim(hashes[gpu_match:resident])
+        self._promoted += reclaimed
+        if reclaimed:
+            self.obs.emit(now, self.obs_key, "promote", blocks=reclaimed)
         overflow = hashes[resident:]
         if overflow:
             self.accept_overflow(overflow, now=now)
@@ -405,6 +431,7 @@ class TieredPrefixStore:
 
         Returns the number of tokens moved into L1.
         """
+        self._obs_now = now
         host_blocks, cluster_blocks = self._walk_continuation(block_hashes, gpu_blocks)
         total = host_blocks + cluster_blocks
         if total == 0:
@@ -422,6 +449,7 @@ class TieredPrefixStore:
         self._prefetched += landed
         self._bytes_up += landed * self._block_bytes
         self._prefetch_seconds += self._batch_seconds(landed_host, landed - landed_host)
+        self.obs.emit(now, self.obs_key, "prefetch", blocks=landed)
         return landed * self._block_size
 
     def warm_restore(self, block_hashes, *, now: float = 0.0) -> int:
@@ -441,6 +469,7 @@ class TieredPrefixStore:
         """
         if self._host is None or self._cluster is None:
             return 0
+        self._obs_now = now
         fresh = [
             content_hash for content_hash in block_hashes
             if content_hash in self._cluster and content_hash not in self._host
@@ -467,6 +496,7 @@ class TieredPrefixStore:
         hashes = list(block_hashes)
         if not hashes:
             return 0
+        self._obs_now = now
         self._version += 1
         if self._host is not None:
             # Only blocks that were not already host-resident are transfers;
@@ -480,12 +510,16 @@ class TieredPrefixStore:
                     self._cluster.discard_owned(self.replica, content_hash)
             self._demoted += absorbed
             self._bytes_down += absorbed * self._block_bytes
+            if absorbed:
+                self.obs.emit(now, self.obs_key, "demote", blocks=absorbed)
             return absorbed
         if self._cluster is not None:
             stored, seconds = self._cluster.publish(self.replica, hashes)
             self._demote_seconds += seconds
             self._demoted += stored
             self._bytes_down += stored * self._block_bytes
+            if stored:
+                self.obs.emit(now, self.obs_key, "demote", blocks=stored)
             return stored
         self._dropped += len(hashes)
         return 0
@@ -501,6 +535,7 @@ class TieredPrefixStore:
             if content_hash in self._host:
                 self._demoted += 1
                 self._bytes_down += self._block_bytes
+                self.obs.emit(self._obs_now, self.obs_key, "demote", blocks=1)
             else:
                 self._dropped += 1
         elif self._cluster is not None:
@@ -509,6 +544,7 @@ class TieredPrefixStore:
             if stored:
                 self._demoted += 1
                 self._bytes_down += self._block_bytes
+                self.obs.emit(self._obs_now, self.obs_key, "demote", blocks=1)
             elif content_hash not in self._cluster:
                 self._dropped += 1
         else:
@@ -525,6 +561,7 @@ class TieredPrefixStore:
         if stored:
             self._demoted += 1
             self._bytes_down += self._block_bytes
+            self.obs.emit(self._obs_now, self.obs_key, "demote", blocks=1)
         elif content_hash not in self._cluster:
             self._dropped += 1
         # else: already resident below (publish refreshed it) — not a drop.
@@ -554,6 +591,8 @@ class TieredPrefixStore:
             self._host.clear()
         self._demoted += published
         self._bytes_down += published * self._block_bytes
+        if published:
+            self.obs.emit(self._obs_now, self.obs_key, "demote", blocks=published)
         return published
 
     def clear(self) -> None:

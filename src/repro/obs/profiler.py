@@ -1,0 +1,64 @@
+"""Wall-clock self-profiler for the simulator hot loop.
+
+Attributes the *real* (wall-clock) time of a simulation run to the engine's
+phases — arrival dispatch, internal-event advance, fault delivery, autoscale
+checks, metric sampling — so ``BENCH_*.json`` can say where the events/s
+budget actually goes (the phase breakdown the ROADMAP's vectorization item
+needs as its baseline).
+
+The profiler is a module global: :func:`activate` installs a fresh
+:class:`PhaseProfiler`, the simulator loops read :data:`ACTIVE` once per run
+and, only when it is set, bracket each phase with ``perf_counter`` — the
+common disabled path costs one module-attribute read per simulation call.
+Wall-clock attribution never touches simulated time, so profiling cannot
+perturb results (the same measurement-never-perturbs contract as the span
+recorder, here for real time instead of simulated time).
+"""
+
+from __future__ import annotations
+
+__all__ = ["PhaseProfiler", "ACTIVE", "activate", "deactivate"]
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and event counts per engine phase."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.events: dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float, events: int = 1) -> None:
+        """Charge ``seconds`` of wall clock (and ``events`` events) to a phase."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.events[phase] = self.events.get(phase, 0) + events
+
+    def as_dict(self) -> dict:
+        """Phase breakdown for ``BENCH_*.json``: seconds, events, events/s."""
+        breakdown = {}
+        for phase in sorted(self.seconds):
+            seconds = self.seconds[phase]
+            events = self.events.get(phase, 0)
+            breakdown[phase] = {
+                "wall_s": round(seconds, 4),
+                "events": events,
+                "events_per_s": round(events / seconds, 1) if seconds > 0 else 0.0,
+            }
+        return breakdown
+
+
+#: The installed profiler, or None (the default — loops skip all timing).
+ACTIVE: PhaseProfiler | None = None
+
+
+def activate() -> PhaseProfiler:
+    """Install and return a fresh profiler (replacing any active one)."""
+    global ACTIVE
+    ACTIVE = PhaseProfiler()
+    return ACTIVE
+
+
+def deactivate() -> PhaseProfiler | None:
+    """Remove the active profiler and return it (None if none was active)."""
+    global ACTIVE
+    profiler, ACTIVE = ACTIVE, None
+    return profiler

@@ -1,0 +1,126 @@
+"""A minimal JSON-Schema-subset validator for the checked-in trace schemas.
+
+The container deliberately carries no third-party ``jsonschema`` package, so
+this module implements exactly the subset the checked-in schemas use:
+``type`` (scalar or union), ``enum``, ``const``, ``properties`` /
+``required`` / ``additionalProperties``, ``items``, ``minimum``, and
+``oneOf``.  Anything else in a schema fails loudly rather than silently
+passing.
+
+Used by ``scripts/obs_check.py`` (the CI ``obs`` job) and the exporter tests
+to validate ``prefillonly obs export --format chrome`` output against
+``schemas/chrome-trace.schema.json``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceSchemaError
+
+__all__ = ["validate_json"]
+
+#: Schema keywords this validator understands; unknown *constraint* keywords
+#: in a schema raise instead of being ignored.
+_KNOWN_KEYWORDS = {
+    "$schema", "$id", "title", "description",
+    "type", "enum", "const", "properties", "required",
+    "additionalProperties", "items", "minimum", "oneOf",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value, expected: str, path: str) -> None:
+    python_type = _TYPES.get(expected)
+    if python_type is None:
+        raise TraceSchemaError(f"schema uses unknown type {expected!r}", path=path)
+    if isinstance(value, bool) and expected in ("integer", "number"):
+        raise TraceSchemaError(f"expected {expected}, got boolean", path=path)
+    if not isinstance(value, python_type):
+        raise TraceSchemaError(
+            f"expected {expected}, got {type(value).__name__}", path=path
+        )
+
+
+def validate_json(value, schema: dict, *, path: str = "") -> None:
+    """Validate ``value`` against the schema subset; raise on the first failure.
+
+    Raises:
+        TraceSchemaError: naming the JSON path of the first violation, or a
+            schema keyword outside the supported subset.
+    """
+    if not isinstance(schema, dict):
+        raise TraceSchemaError("schema node must be an object", path=path)
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise TraceSchemaError(
+            f"schema uses unsupported keywords {sorted(unknown)}", path=path
+        )
+    if "oneOf" in schema:
+        errors = []
+        for index, option in enumerate(schema["oneOf"]):
+            try:
+                validate_json(value, option, path=path)
+                return
+            except TraceSchemaError as exc:
+                errors.append(f"option {index}: {exc}")
+        raise TraceSchemaError(
+            "matched none of oneOf (" + "; ".join(errors) + ")", path=path
+        )
+    expected = schema.get("type")
+    if expected is not None:
+        if isinstance(expected, list):
+            if not any(_matches_type(value, entry) for entry in expected):
+                raise TraceSchemaError(
+                    f"expected one of {expected}, got {type(value).__name__}",
+                    path=path,
+                )
+        else:
+            _check_type(value, expected, path)
+    if "const" in schema and value != schema["const"]:
+        raise TraceSchemaError(
+            f"expected constant {schema['const']!r}, got {value!r}", path=path
+        )
+    if "enum" in schema and value not in schema["enum"]:
+        raise TraceSchemaError(
+            f"{value!r} is not one of {schema['enum']}", path=path
+        )
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        raise TraceSchemaError(
+            f"{value!r} is below the minimum {schema['minimum']}", path=path
+        )
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise TraceSchemaError(f"missing required key {key!r}", path=path)
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            child_path = f"{path}.{key}" if path else key
+            if key in properties:
+                validate_json(item, properties[key], path=child_path)
+            elif additional is False:
+                raise TraceSchemaError(f"unexpected key {key!r}", path=path)
+            elif isinstance(additional, dict):
+                validate_json(item, additional, path=child_path)
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate_json(item, schema["items"], path=f"{path}[{index}]")
+
+
+def _matches_type(value, expected: str) -> bool:
+    try:
+        _check_type(value, expected, "")
+        return True
+    except TraceSchemaError as exc:
+        if "unknown type" in str(exc):
+            raise
+        return False

@@ -57,6 +57,7 @@ from repro.hardware.cluster import get_hardware_setup
 from repro.kvcache.tiers import TierConfig
 from repro.model.config import get_model
 from repro.model.latency import LatencyModel
+from repro.obs import profiler
 from repro.perf import memo
 from repro.perf.runner import ParallelRunner
 from repro.simulation.arrival import make_arrival
@@ -107,7 +108,10 @@ class CaseResult:
     result metrics — what the memo on/off and parallel/serial cross-checks
     compare byte for byte.  ``peak_rss_kib`` is the process high-water mark
     *after* the case ran (``ru_maxrss`` is monotonic, so attribute spikes to
-    the first case whose value jumps).
+    the first case whose value jumps).  ``phases`` is the hot-loop
+    self-profiler's wall-clock breakdown (arrival / advance / fault /
+    autoscale / sample) for cases that run the simulator loops; the analytic
+    case, which never enters a loop, reports none.
     """
 
     name: str
@@ -115,19 +119,23 @@ class CaseResult:
     events: int
     peak_rss_kib: int
     signature: str
+    phases: dict | None = None
 
     @property
     def events_per_s(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
 
     def as_dict(self) -> dict:
-        return {
+        result = {
             "name": self.name,
             "wall_s": round(self.wall_s, 4),
             "events": self.events,
             "events_per_s": round(self.events_per_s, 1),
             "peak_rss_kib": self.peak_rss_kib,
         }
+        if self.phases:
+            result["phases"] = self.phases
+        return result
 
 
 def _signature(payload) -> str:
@@ -367,15 +375,20 @@ def run_case(name: str, scale: str = "small") -> CaseResult:
     except KeyError:
         known = ", ".join(PINNED_CASES)
         raise ConfigurationError(f"unknown harness case {name!r}; known: {known}") from None
-    start = time.perf_counter()
-    events, signature = case(scale)
-    wall = time.perf_counter() - start
+    profiler.activate()
+    try:
+        start = time.perf_counter()
+        events, signature = case(scale)
+        wall = time.perf_counter() - start
+    finally:
+        phases = profiler.deactivate()
     return CaseResult(
         name=name,
         wall_s=wall,
         events=events,
         peak_rss_kib=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         signature=signature,
+        phases=phases.as_dict() if phases is not None else None,
     )
 
 
@@ -528,9 +541,17 @@ def format_harness_report(report: dict) -> str:
     from repro.analysis.reporting import format_table
 
     lines = [format_table(
-        report["cases"],
+        [{key: value for key, value in case.items() if key != "phases"}
+         for case in report["cases"]],
         title=f"Perf harness: {report['label']} (scale={report['scale']})",
     )]
+    phase_rows = [
+        {"case": case["name"], "phase": phase, **stats}
+        for case in report["cases"]
+        for phase, stats in case.get("phases", {}).items()
+    ]
+    if phase_rows:
+        lines.append(format_table(phase_rows, title="Hot-loop phase breakdown"))
     memoization = report.get("memoization")
     if memoization:
         lines.append(

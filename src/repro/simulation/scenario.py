@@ -69,6 +69,8 @@ from repro.faults import FaultSchedule, fault_schedule_from_model
 from repro.hardware.cluster import get_hardware_setup
 from repro.kvcache.tiers import ShardStoreBus, TierConfig
 from repro.kvcache.tiers.config import tier_config_from_model
+from repro.obs.logging import get_logger, set_context
+from repro.obs.recorder import DEFAULT_LATENCY_BUCKETS, ObsConfig, TraceRecorder
 from repro.perf.runner import ParallelRunner, resolve_runner
 from repro.simulation.arrival import make_arrival
 from repro.spec.core import from_dict, to_dict
@@ -129,6 +131,11 @@ class ScenarioSpec:
     #: Explicit conservative lookahead window in simulated seconds; None
     #: derives it from the modelled interconnect latency.
     lookahead: float | None = None
+    #: Observability configuration, parsed from the ``"observability"``
+    #: config block (see ``docs/OBSERVABILITY.md``).  None or ``enabled:
+    #: false`` records nothing, with results byte-identical to a config that
+    #: omits the block entirely.
+    observability: ObsConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -203,6 +210,19 @@ def scenario_from_model(model: ScenarioModel) -> ScenarioSpec:
         faults = fault_schedule_from_model(
             model.faults, default_replicas=model.replicas
         )
+    observability = None
+    if model.observability is not None:
+        obs_model = model.observability
+        observability = ObsConfig(
+            enabled=obs_model.enabled,
+            spans=obs_model.spans,
+            metrics=obs_model.metrics,
+            sample_interval_s=obs_model.sample_interval_s,
+            latency_buckets=(
+                tuple(obs_model.latency_buckets) if obs_model.latency_buckets
+                else DEFAULT_LATENCY_BUCKETS
+            ),
+        )
     return ScenarioSpec(
         name=model.name,
         tenants=tenants,
@@ -218,6 +238,7 @@ def scenario_from_model(model: ScenarioModel) -> ScenarioSpec:
         faults=faults,
         shards=model.shards,
         lookahead=model.lookahead,
+        observability=observability,
     )
 
 
@@ -301,6 +322,16 @@ def _build_fleet(spec: ScenarioSpec, max_input_length: int, *,
     autoscaler = None
     if spec.autoscale is not None:
         autoscaler = ReactiveAutoscaler(**spec.autoscale)
+    recorder = None
+    if spec.observability is not None and spec.observability.enabled:
+        recorder = TraceRecorder(
+            spec.observability,
+            tenant_slos={
+                tenant.name: tenant.slo_latency_s
+                for tenant in spec.tenants
+                if tenant.slo_latency_s is not None
+            },
+        )
     return Fleet.for_setup(
         get_engine_spec(spec.engine), get_hardware_setup(spec.setup),
         max_input_length=max_input_length,
@@ -315,6 +346,7 @@ def _build_fleet(spec: ScenarioSpec, max_input_length: int, *,
         # Sharded tiered runs talk to the L3 store through the versioned,
         # latency-stamped message bus (transparent: results are identical).
         cluster_service=ShardStoreBus if spec.shards > 1 else None,
+        recorder=recorder,
     )
 
 
@@ -391,10 +423,14 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
             invariant checks) can inspect end-of-run KV residency; off by
             default because a fleet does not pickle across suite workers.
     """
+    set_context(seed=spec.seed)
+    logger = get_logger("scenario")
     if requests is None:
         requests = build_mix(spec).requests
     if not requests:
         raise ScenarioError(f"scenario {spec.name!r} produced no requests")
+    logger.info("running scenario %r: %d requests, %d replicas, %d shard(s)",
+                spec.name, len(requests), spec.replicas or 0, spec.shards)
     trace_path = None
     if record is not None:
         trace_path = save_trace(
@@ -421,6 +457,9 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
         shard_mode="lockstep" if keep_fleet else "auto",
         shard_seed=spec.seed,
     )
+    logger.info("scenario %r finished: %d completed, %d rejected, %d events",
+                spec.name, result.summary.num_requests,
+                result.summary.num_rejected, result.num_events)
     return ScenarioResult(
         spec=spec,
         result=result,

@@ -61,6 +61,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.hardware.interconnect import PCIE_GEN4
+from repro.obs.logging import set_context
+from repro.obs.recorder import (
+    GLOBAL_KEY,
+    NULL_RECORDER,
+    TraceRecorder,
+    merge_shard_payloads,
+)
 from repro.perf.runner import ParallelRunner, derive_task_seeds
 from repro.simulation.events import EventQueue
 
@@ -250,6 +257,11 @@ class _ShardTask:
     arrivals: tuple
     max_simulated_seconds: float
     max_events: int
+    #: :class:`~repro.obs.recorder.ObsConfig` when the run records
+    #: observability, else ``None`` (the shard uses the null recorder).
+    obs_config: object = None
+    #: ``(tenant, slo_latency_s)`` pairs for the shard recorder's SLO counter.
+    tenant_slos: tuple = ()
 
 
 class ShardEngine:
@@ -271,6 +283,12 @@ class ShardEngine:
         self.task = task
         self.instances = {}
         self.queue = EventQueue()
+        if task.obs_config is not None and task.obs_config.enabled:
+            self.obs = TraceRecorder(
+                task.obs_config, tenant_slos=dict(task.tenant_slos),
+            )
+        else:
+            self.obs = NULL_RECORDER
         for key, name, spec in task.replicas:
             instance = EngineInstance(
                 spec.engine, task.model, spec.gpu,
@@ -279,16 +297,29 @@ class ShardEngine:
                 name=name,
                 fast_paths=task.fast_paths,
             )
+            instance.obs = self.obs
+            instance.obs_key = key
+            self.obs.register_replica(key, name)
             self.instances[key] = instance
             self.queue.update(key, instance.next_event_time())
+
+    def _gauge_rows(self) -> list:
+        """This shard's slice of ``Fleet.obs_gauge_rows`` (replica-key order)."""
+        return [
+            ("queue_depth", (("replica", name),), self.instances[key].num_waiting)
+            for key, name, _spec in self.task.replicas
+        ]
 
     def run(self) -> dict:
         """Drain the shard; return the picklable per-replica payload."""
         task = self.task
+        set_context(shard=task.shard_id)
         arrivals = task.arrivals
         arrival_index = 0
         now = 0.0
         events = 0
+        obs = self.obs
+        obs_sampling = obs.enabled and obs.metrics
 
         while True:
             next_arrival = (
@@ -307,6 +338,11 @@ class ShardEngine:
                     f"fleet simulation exceeded {task.max_simulated_seconds} "
                     "simulated seconds"
                 )
+
+            if obs_sampling:
+                # Same discipline as the fleet loop: sample before the event
+                # batch at `now`, over this shard's replicas only.
+                obs.maybe_sample(now, self._gauge_rows)
 
             if next_arrival <= next_internal:
                 key, request = arrivals[arrival_index]
@@ -329,6 +365,7 @@ class ShardEngine:
                     f"fleet simulation exceeded {task.max_events} events"
                 )
 
+        obs.finalize(now)
         replicas = []
         for key, name, _spec in task.replicas:
             instance = self.instances[key]
@@ -350,6 +387,7 @@ class ShardEngine:
             "events": events,
             "end_time": now,
             "replicas": replicas,
+            "obs": obs.payload() if obs.enabled else None,
         }
 
 
@@ -385,12 +423,28 @@ def simulate_fleet_decoupled(fleet, requests, plan: ShardPlan, *,
 
     # Pre-route.  The router sees the same (request, depths=[]) calls in the
     # same order as the unsharded loop, so stateful routers (user-id
-    # round-robin) make the same decisions.
+    # round-robin) make the same decisions.  The coordinator's recorder gets
+    # the same submit/route events the unsharded loop emits, at the same
+    # simulated times (the arrival times), in the same order — only the
+    # wall-clock moment of recording differs, which the span format never
+    # sees.
+    obs = fleet.obs
     shard_arrivals: list[list] = [[] for _ in range(plan.num_shards)]
     keys = [entry[0] for entry in manifest]
+    names = [entry[1] for entry in manifest]
     for request in pending:
-        key = keys[fleet.router.route(request, [])]
+        index = fleet.router.route(request, [])
+        key = keys[index]
         shard_arrivals[plan.owner(key)].append((key, request))
+        if obs.enabled:
+            obs.emit(
+                request.arrival_time, GLOBAL_KEY, "submit",
+                request=request.request_id,
+            )
+            obs.emit(
+                request.arrival_time, key, "route",
+                request=request.request_id, replica=names[index],
+            )
     fleet.stats.num_submitted += len(pending)
     fleet.stats.num_routed += len(pending)
 
@@ -411,6 +465,8 @@ def simulate_fleet_decoupled(fleet, requests, plan: ShardPlan, *,
             arrivals=tuple(shard_arrivals[shard_id]),
             max_simulated_seconds=max_simulated_seconds,
             max_events=max_events,
+            obs_config=obs.config if obs.enabled else None,
+            tenant_slos=tuple(sorted(obs.tenant_slos.items())) if obs.enabled else (),
         ))
 
     if shard_workers is None:
@@ -488,4 +544,10 @@ def simulate_fleet_decoupled(fleet, requests, plan: ShardPlan, *,
             "lookahead_s": lookahead,
             "shard_seeds": list(plan.shard_seeds),
         },
+        obs=(
+            merge_shard_payloads(
+                obs, [p["obs"] for p in payloads if p.get("obs") is not None],
+            )
+            if obs.enabled else None
+        ),
     )

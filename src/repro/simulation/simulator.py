@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.engine import FinishedRequest
 from repro.errors import SimulationError
+from repro.obs import profiler as _profiler
+from repro.obs.recorder import ObsData
 from repro.simulation.events import EventQueue, TIME_EPSILON
 from repro.simulation.metrics import (
     FleetSummary,
@@ -88,6 +91,7 @@ def simulate(system: ServingSystem, requests: list[Request], *,
     arrival_index = 0
     now = 0.0
     events = 0
+    prof = _profiler.ACTIVE
 
     queue: EventQueue | None = None
     if use_event_queue:
@@ -117,6 +121,7 @@ def simulate(system: ServingSystem, requests: list[Request], *,
             )
 
         if next_arrival <= next_internal:
+            tick = perf_counter() if prof else 0.0
             request = pending[arrival_index]
             arrival_index += 1
             instance = system.submit(request, now)
@@ -124,10 +129,13 @@ def simulate(system: ServingSystem, requests: list[Request], *,
             if queue is not None:
                 queue.update(index_of[id(instance)], instance.next_event_time())
             events += 1
+            if prof:
+                prof.add("arrival", perf_counter() - tick)
         elif queue is not None:
             # The engine fires events within TIME_EPSILON of `now`, so drain
             # every instance in that window — exactly the set the linear scan's
             # whole-system advance would have moved.
+            tick = perf_counter() if prof else 0.0
             due = queue.pop_due(now, epsilon=TIME_EPSILON)
             for key in due:
                 instance = instances[key]
@@ -136,17 +144,24 @@ def simulate(system: ServingSystem, requests: list[Request], *,
             # A finite next_internal means >= 1 source is due; the max() keeps
             # the max_events runaway guard armed even if event bookkeeping
             # desyncs and an iteration advances nothing.
-            events += max(len(due), 1)
+            batch = max(len(due), 1)
+            events += batch
+            if prof:
+                prof.add("advance", perf_counter() - tick, batch)
         else:
             # Count the instances with a due event before the whole-system
             # advance moves them — the same set the heap path pops, so both
             # paths report identical event counts.
-            events += max(sum(
+            tick = perf_counter() if prof else 0.0
+            batch = max(sum(
                 1 for instance in system.instances
                 if (next_time := instance.next_event_time()) is not None
                 and next_time <= now + TIME_EPSILON
             ), 1)
+            events += batch
             system.advance_to(now)
+            if prof:
+                prof.add("advance", perf_counter() - tick, batch)
 
         if events > max_events:
             raise SimulationError(f"simulation exceeded {max_events} events")
@@ -191,6 +206,11 @@ class FleetSimulationResult:
     #: run is byte-identical to the unsharded path *except* for this record
     #: of how it was executed.
     sharding: dict | None = None
+    #: The run's frozen observability record, or ``None`` when the fleet ran
+    #: with the null recorder.  Excluded from the scenario fingerprint by the
+    #: same argument as ``sharding``: recording observes the run, it is not
+    #: part of the result.
+    obs: ObsData | None = None
 
     @property
     def num_finished(self) -> int:
@@ -290,6 +310,10 @@ def simulate_fleet(fleet, requests: list[Request], *,
     arrival_index = 0
     now = 0.0
     events = 0
+    prof = _profiler.ACTIVE
+    obs = fleet.obs
+    obs_sampling = obs.enabled and obs.metrics
+    gauge_rows = fleet.obs_gauge_rows
 
     fault_events = ()
     fault_queue: EventQueue | None = None
@@ -318,22 +342,44 @@ def simulate_fleet(fleet, requests: list[Request], *,
                 f"fleet simulation exceeded {max_simulated_seconds} simulated seconds"
             )
 
+        if obs_sampling:
+            # Before the event batch at `now`: a sample at boundary b <= now
+            # reflects the state after all events strictly before b.
+            tick = perf_counter() if prof else 0.0
+            obs.maybe_sample(now, gauge_rows)
+            if prof:
+                prof.add("sample", perf_counter() - tick)
+
         if next_fault <= next_arrival and next_fault <= next_internal:
+            tick = perf_counter() if prof else 0.0
             due = fault_queue.pop_due(now)
             for index in due:
                 fleet.apply_fault(fault_events[index], now)
-            events += max(len(due), 1)
+            batch = max(len(due), 1)
+            events += batch
+            if prof:
+                prof.add("fault", perf_counter() - tick, batch)
         elif next_arrival <= next_internal:
+            tick = perf_counter() if prof else 0.0
             request = pending[arrival_index]
             arrival_index += 1
             fleet.submit(request, now)
             events += 1
+            if prof:
+                prof.add("arrival", perf_counter() - tick)
         else:
+            tick = perf_counter() if prof else 0.0
             fleet.advance_to(now)
             # max() keeps the max_events runaway guard armed even if a buggy
             # fleet reports a due event but advances no replica.
-            events += max(fleet.last_advance_count, 1)
+            batch = max(fleet.last_advance_count, 1)
+            events += batch
+            if prof:
+                prof.add("advance", perf_counter() - tick, batch)
+        tick = perf_counter() if prof else 0.0
         fleet.maybe_autoscale(now)
+        if prof:
+            prof.add("autoscale", perf_counter() - tick)
 
         if events > max_events:
             raise SimulationError(f"fleet simulation exceeded {max_events} events")
@@ -365,4 +411,5 @@ def simulate_fleet(fleet, requests: list[Request], *,
         cache_stats=fleet.cache_stats(),
         num_events=events,
         sharding=sharding_info,
+        obs=obs.freeze(now) if obs.enabled else None,
     )

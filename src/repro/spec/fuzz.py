@@ -37,6 +37,7 @@ from repro.spec.models import (
     AutoscaleSpec,
     GenerateSpec,
     KVTiersSpec,
+    ObservabilitySpec,
 )
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "model_strategy",
     "kv_tiers_configs",
     "autoscale_configs",
+    "observability_configs",
     "fault_configs",
     "tenant_configs",
     "scenario_configs",
@@ -134,6 +136,20 @@ def kv_tiers_configs():
 def autoscale_configs():
     """Random valid ``"autoscale"`` blocks (max >= min by construction)."""
     return model_strategy(AutoscaleSpec)
+
+
+@st.composite
+def observability_configs(draw):
+    """Random valid ``"observability"`` blocks (always enabled — a disabled
+    block is byte-identical to omission, which the scenario composite covers
+    by omitting the key).  Custom bucket lists are strictly increasing by
+    construction (sorted unique positive floats)."""
+    config: dict = draw(model_strategy(ObservabilitySpec, enabled=st.just(True)))
+    if draw(st.booleans()):
+        config["latency_buckets"] = sorted(draw(st.lists(
+            _bounded_floats(0.05, 30.0), min_size=1, max_size=5, unique=True,
+        )))
+    return config
 
 
 @st.composite
@@ -287,6 +303,10 @@ def scenario_configs(draw):
         # Exercise the sharded engine: the invariant test's second run takes
         # the "auto" mode, so decoupled draws pin lockstep == parallel too.
         config["shards"] = draw(st.integers(2, 4))
+    if draw(st.booleans()):
+        # Recording observes the run without changing it, so the fuzzer's
+        # invariants must hold verbatim with the recorder switched on.
+        config["observability"] = draw(observability_configs())
     return config
 
 

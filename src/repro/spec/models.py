@@ -43,6 +43,7 @@ __all__ = [
     "GenerateSpec",
     "FaultsSpec",
     "AutoscaleSpec",
+    "ObservabilitySpec",
     "TenantModel",
     "ScenarioModel",
     "parse_fault_event",
@@ -414,6 +415,59 @@ class AutoscaleSpec:
             )
 
 
+def _parse_latency_bucket(entry, path: str) -> float:
+    if isinstance(entry, bool) or not isinstance(entry, (int, float)) or entry <= 0:
+        raise ScenarioSpecError(
+            f"latency bucket edges must be positive numbers, got {entry!r}",
+            path=path,
+        )
+    return float(entry)
+
+
+@spec_model(error=ScenarioSpecError, path="observability", title="observability")
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """One ``"observability"`` config block (see ``docs/OBSERVABILITY.md``)."""
+
+    version: int = spec_field(
+        default=1, types=int, doc="Config format version.",
+    )
+    enabled: bool = spec_field(
+        default=False, types=bool,
+        doc="Master switch; false records nothing, byte-identical to omission.",
+    )
+    spans: bool = spec_field(
+        default=True, types=bool,
+        doc="Record per-request lifecycle span events.",
+    )
+    metrics: bool = spec_field(
+        default=True, types=bool,
+        doc="Record the sampled time-series metrics.",
+    )
+    sample_interval_s: float = spec_field(
+        default=1.0, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(0.25, 5.0),
+        doc="Simulated seconds between metric sample boundaries.",
+    )
+    latency_buckets: tuple = spec_field(
+        default=(), item_parser=_parse_latency_bucket,
+        item_normalizer=_parse_latency_bucket,
+        constraint_doc="strictly increasing positive numbers; empty uses "
+                       "the default buckets",
+        doc="Request-latency histogram bucket upper edges (seconds).",
+    )
+
+    def __spec_validate__(self, path: str) -> None:
+        for previous, current in zip(self.latency_buckets,
+                                     self.latency_buckets[1:]):
+            if current <= previous:
+                raise ScenarioSpecError(
+                    "latency_buckets must be strictly increasing, got "
+                    f"{current:g} after {previous:g}",
+                    path=f"{path}.latency_buckets",
+                )
+
+
 @spec_model(error=ScenarioSpecError, path="tenants[]", title="tenants[]")
 @dataclass(frozen=True)
 class TenantModel:
@@ -531,6 +585,10 @@ class ScenarioModel:
         doc="Conservative cross-shard lookahead window in simulated seconds; "
             "omit to derive it from the modelled interconnect latency.",
     )
+    observability: ObservabilitySpec | None = spec_field(
+        default=None, model=ObservabilitySpec,
+        doc="Optional tracing & telemetry (see ``docs/OBSERVABILITY.md``).",
+    )
 
 
 #: The models whose field tables ``docs/SPEC.md`` is generated from,
@@ -539,6 +597,7 @@ DOCUMENTED_MODELS = (
     ScenarioModel,
     TenantModel,
     AutoscaleSpec,
+    ObservabilitySpec,
     KVTiersSpec,
     HostTierSpec,
     ClusterTierSpec,

@@ -1,0 +1,92 @@
+"""Golden-pins for the plain-text report formatters.
+
+Each report renders a deterministic cookbook scenario and is compared byte
+for byte against a checked-in golden file — so an accidental formatting or
+metric change in ``repro.analysis.reporting`` shows up as a readable diff of
+the report itself, not a downstream test failure.
+
+To regenerate after an *intentional* change::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_reporting_golden.py -q
+
+then review the diff of ``tests/golden/reports/`` like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_fleet_report,
+    format_resilience_report,
+    format_scenario_report,
+    format_tier_report,
+)
+from repro.simulation.scenario import load_scenario, run_scenario
+
+SCENARIOS = Path(__file__).parent.parent / "examples" / "scenarios"
+GOLDEN_DIR = Path(__file__).parent / "golden" / "reports"
+
+_RESULTS: dict = {}
+
+
+def _scenario_result(stem: str):
+    """One cached scenario run per module — reports share the runs."""
+    if stem not in _RESULTS:
+        _RESULTS[stem] = run_scenario(load_scenario(SCENARIOS / f"{stem}.json"))
+    return _RESULTS[stem]
+
+
+def _check_golden(name: str, text: str) -> None:
+    golden = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("REPRO_UPDATE_GOLDENS") == "1":
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(text, encoding="utf-8")
+        return
+    if not golden.exists():
+        pytest.fail(
+            f"golden file missing: {golden}; generate it with "
+            "REPRO_UPDATE_GOLDENS=1"
+        )
+    assert text == golden.read_text(encoding="utf-8"), (
+        f"{name} report drifted from {golden}; if the change is intentional, "
+        "regenerate with REPRO_UPDATE_GOLDENS=1 and review the diff"
+    )
+
+
+def test_fleet_report_golden():
+    result = _scenario_result("steady_poisson")
+    _check_golden("fleet_steady_poisson", format_fleet_report(result.result) + "\n")
+
+
+def test_scenario_report_golden():
+    result = _scenario_result("bursty_mix")
+    _check_golden("scenario_bursty_mix", format_scenario_report(result) + "\n")
+
+
+def test_scenario_report_chaos_golden():
+    """The full scenario report of a chaos + tiers run — every section at once."""
+    result = _scenario_result("chaos_tiered_recovery")
+    _check_golden(
+        "scenario_chaos_tiered_recovery", format_scenario_report(result) + "\n"
+    )
+
+
+def test_tier_report_golden():
+    result = _scenario_result("chaos_tiered_recovery")
+    tiers = result.result.fleet.tiers
+    assert tiers is not None
+    _check_golden("tier_chaos_tiered_recovery", format_tier_report(tiers) + "\n")
+
+
+def test_resilience_report_golden():
+    result = _scenario_result("chaos_tiered_recovery")
+    resilience = result.result.fleet.resilience
+    assert resilience is not None
+    _check_golden(
+        "resilience_chaos_tiered_recovery",
+        format_resilience_report(resilience) + "\n",
+    )

@@ -90,3 +90,62 @@ def test_latency_cdf_downsamples():
 
 def test_latency_cdf_empty():
     assert latency_cdf([]) == []
+
+
+# --------------------------------------------------------------- time edges
+
+
+def test_summary_zero_duration_run():
+    """All records on one instant: the makespan clamp keeps rates finite."""
+    records = [make_record(i, arrival=5.0, start=5.0, finish=5.0) for i in range(3)]
+    summary = summarize_finished(records)
+    assert summary.makespan == pytest.approx(1e-12)
+    assert summary.mean_latency == 0.0
+    assert summary.p99_latency == 0.0
+    assert summary.throughput_rps == pytest.approx(3 / 1e-12)
+    import math
+    assert math.isfinite(summary.throughput_rps)
+
+
+def test_summary_all_rejected_run():
+    """Nothing finished but requests were offered: zeros, not a crash."""
+    rejections = [make_record(i, 0.0, 0.0, 0.0) for i in range(4)]
+    summary = summarize_finished([], rejections)
+    assert summary.num_requests == 0
+    assert summary.num_rejected == 4
+    assert summary.makespan == 0.0
+    assert summary.throughput_rps == 0.0
+
+
+def test_summary_zero_token_records():
+    """token_hit_rate guards the zero-token denominator."""
+    summary = summarize_finished([make_record(0, 0.0, 0.0, 1.0, tokens=0)])
+    assert summary.token_hit_rate == 0.0
+
+
+def test_resilience_zero_makespan_yields_zero_rates():
+    """The all-crashed run that finishes nothing must not divide by zero."""
+    from repro.faults.schedule import ResilienceCounters
+    from repro.simulation.metrics import summarize_resilience
+
+    summary = summarize_resilience(
+        ResilienceCounters(), num_submitted=0, num_finished=0, makespan=0.0
+    )
+    assert summary.offered_rps == 0.0
+    assert summary.goodput_rps == 0.0
+    assert summary.goodput_ratio == 0.0
+    assert summary.mean_mttr_s == 0.0
+
+
+def test_resilience_rates_with_positive_makespan():
+    from repro.faults.schedule import ResilienceCounters
+    from repro.simulation.metrics import summarize_resilience
+
+    counters = ResilienceCounters(num_faults_applied=2, mttr_samples=[1.0, 3.0])
+    summary = summarize_resilience(
+        counters, num_submitted=10, num_finished=8, makespan=4.0
+    )
+    assert summary.offered_rps == pytest.approx(2.5)
+    assert summary.goodput_rps == pytest.approx(2.0)
+    assert summary.goodput_ratio == pytest.approx(0.8)
+    assert summary.mean_mttr_s == pytest.approx(2.0)

@@ -33,6 +33,7 @@ from repro.spec.fuzz import (
     fault_configs,
     kv_tiers_configs,
     model_strategy,
+    observability_configs,
     scenario_configs,
     tenant_configs,
 )
@@ -50,6 +51,7 @@ from repro.spec.models import (
     GenerateSpec,
     HostTierSpec,
     KVTiersSpec,
+    ObservabilitySpec,
     OutageEventSpec,
     RecoverEventSpec,
     ScenarioModel,
@@ -94,6 +96,7 @@ MODEL_STRATEGIES = {
     GenerateSpec: model_strategy(GenerateSpec),
     FaultsSpec: fault_configs(replicas=4),
     AutoscaleSpec: model_strategy(AutoscaleSpec),
+    ObservabilitySpec: observability_configs(),
     TenantModel: tenant_configs(name="tenant-a"),
     ScenarioModel: scenario_configs(),
 }
