@@ -9,6 +9,8 @@
 #   make fuzz        - scenario + metamorphic fuzzers, full 200-example derandomized profile
 #   make test-shard-identity - sharded-engine differential suite (byte-identity at shards=4)
 #   make obs-check   - validate observability exports + disabled-path seed fingerprints
+#   make test-resilience - resilience unit + identity suite (policies-off byte-identical)
+#   make scenarios-resilience - run the chaos+policy scenarios at shards 1 and 4
 #   make docs-check  - fail if README / docs reference nonexistent modules or CLI flags
 #   make examples    - run every example script end to end
 #   make scenarios   - smoke-run every CLI example in docs/SCENARIOS.md
@@ -21,7 +23,7 @@ PERF_WORKERS ?= 4
 #: Committed baseline the perf target compares against (see docs/PERFORMANCE.md).
 PERF_BASELINE ?= BENCH_pr7.json
 
-.PHONY: test test-shard-identity bench bench-paper bench-tiers bench-sweep perf fuzz obs-check docs-check examples scenarios
+.PHONY: test test-shard-identity test-resilience bench bench-paper bench-tiers bench-sweep perf fuzz obs-check docs-check examples scenarios scenarios-resilience
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +53,13 @@ fuzz:
 
 obs-check:
 	$(PYTHON) scripts/obs_check.py
+
+test-resilience:
+	$(PYTHON) -m pytest tests/test_resilience.py tests/test_resilience_identity.py -q
+
+scenarios-resilience:
+	$(PYTHON) -m repro.cli scenario run --config examples/scenarios/chaos_resilience_policies.json
+	$(PYTHON) -m repro.cli scenario run --config examples/scenarios/chaos_resilience_policies_sharded.json
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

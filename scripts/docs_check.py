@@ -12,8 +12,9 @@ Fails (exit code 1) when the documentation drifts from the code:
 * every repo-relative file path a CLI line references (config files, traces)
   must exist, so cookbook commands keep working as files move;
 * every relative file link / path reference checked must exist;
-* no compiled bytecode (``*.pyc`` / ``__pycache__``) may be tracked by git —
-  the guard that keeps the PR-0 cleanup permanent;
+* no generated artefact (compiled bytecode, the ``build/`` output tree,
+  obs export files) may be tracked by git — the guard that keeps the PR-0
+  cleanup permanent;
 * the generated field tables in docs/SPEC.md must match what
   :mod:`repro.spec.docgen` renders from the model declarations — regenerate
   with ``--update-spec`` after changing a spec model.
@@ -126,16 +127,26 @@ def check_links(text: str, errors: list[str], *, source: str, base: Path) -> Non
             errors.append(f"{source}: broken relative link {target!r}")
 
 
-def check_no_tracked_bytecode(errors: list[str]) -> None:
-    """Fail when git tracks compiled bytecode (``*.pyc`` or ``__pycache__``).
+#: Git pathspecs of machine-generated artefacts that must never be tracked:
+#: compiled bytecode, the ``build/`` output tree (obs exports, perf reports),
+#: and the export files the obs tooling writes wherever ``--out`` points.
+GENERATED_PATHSPECS = [
+    "*.pyc", "*.pyo", "*__pycache__*",
+    "build/*", "obs-exports/*",
+    "*.trace.json", "*.prom.txt", "*.spans.jsonl",
+]
 
-    Bytecode caches are machine-local artefacts; a tracked one means a commit
-    slipped past ``.gitignore`` (as happened before the PR-0 cleanup).  Skipped
+
+def check_no_tracked_artifacts(errors: list[str]) -> None:
+    """Fail when git tracks generated artefacts (bytecode, exports, build/).
+
+    These are machine-local run outputs; a tracked one means a commit slipped
+    past ``.gitignore`` (as happened before the PR-0 cleanup).  Skipped
     silently when git is unavailable (e.g. a source tarball).
     """
     try:
         listing = subprocess.run(
-            ["git", "ls-files", "--", "*.pyc", "*.pyo", "*__pycache__*"],
+            ["git", "ls-files", "--", *GENERATED_PATHSPECS],
             cwd=REPO_ROOT, capture_output=True, text=True, timeout=30,
         )
     except (OSError, subprocess.TimeoutExpired):
@@ -144,7 +155,7 @@ def check_no_tracked_bytecode(errors: list[str]) -> None:
         return
     for path in listing.stdout.splitlines():
         if path:
-            errors.append(f"compiled bytecode is tracked by git: {path!r}")
+            errors.append(f"generated artefact is tracked by git: {path!r}")
 
 
 def check_spec_tables(errors: list[str]) -> None:
@@ -192,7 +203,7 @@ def main(argv: list[str] | None = None) -> int:
 
     errors: list[str] = []
     checked = 0
-    check_no_tracked_bytecode(errors)
+    check_no_tracked_artifacts(errors)
     check_spec_tables(errors)
     for path in DOC_FILES:
         if not path.exists():

@@ -98,8 +98,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scenario", default="chaos_tiered_recovery",
                         help="cookbook scenario stem to export (default: the "
                              "chaos one, so fault events are exercised)")
-    parser.add_argument("--out", default="obs-exports",
-                        help="directory the exports are written to")
+    parser.add_argument("--out", default="build/obs-exports",
+                        help="directory the exports are written to (under the "
+                             "gitignored build/ tree by default)")
     parser.add_argument("--skip-fingerprints", action="store_true",
                         help="skip the (slower) disabled-path fingerprint sweep")
     parser.add_argument("--log-level", default="info", choices=LOG_LEVELS)

@@ -155,6 +155,10 @@ def format_resilience_report(resilience) -> str:
             "warm_restore_hit_rate": round(resilience.warm_restore_hit_rate, 3),
         }], title="Resilience: lost work and recovery"),
     ]
+    if getattr(resilience, "policy", None) is not None:
+        sections.append(format_table(
+            [dict(resilience.policy)], title="Resilience: policy outcomes"
+        ))
     if resilience.fault_log:
         sections.append(format_table(
             list(resilience.fault_log), title="Fault log"

@@ -39,8 +39,9 @@ from repro.analysis.reporting import format_fleet_report, format_scenario_report
 from repro.analysis.sweep import compare_engines, paper_qps_points, base_throughput, qps_sweep
 from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
-from repro.errors import FaultScheduleError, ReproError
+from repro.errors import FaultScheduleError, ReproError, ResilienceError
 from repro.faults import fault_schedule_from_dict
+from repro.resilience import resilience_from_dict
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
 from repro.kvcache.tiers import PROMOTION_POLICIES, tier_config_from_dict
 from repro.model.config import MODEL_REGISTRY, get_model
@@ -156,6 +157,27 @@ def _load_fault_schedule(path: str, *, default_replicas: int | None):
     return fault_schedule_from_dict(config, default_replicas=default_replicas)
 
 
+def _load_resilience(path: str):
+    """Load resilience policies from a JSON file for the ``fleet`` subcommand.
+
+    Accepts either the bare ``"resilience"`` block or a wrapping object with
+    a ``"resilience"`` key (so a scenario config's block can be reused
+    verbatim).  An inert block (disabled, or no sub-policies) returns None —
+    byte-identical to not passing the flag.
+    """
+    file = Path(path)
+    if not file.exists():
+        raise ResilienceError(f"resilience config file not found: {path}")
+    try:
+        config = json.loads(file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ResilienceError(f"{path}: invalid JSON ({exc})") from None
+    if isinstance(config, dict) and "resilience" in config:
+        config = config["resilience"]
+    compiled = resilience_from_dict(config)
+    return compiled if compiled.active else None
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     spec = get_engine_spec(args.engine)
     setup = get_hardware_setup(args.setup)
@@ -193,6 +215,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         autoscaler=autoscaler,
         name=f"{args.engine}x{args.replicas or 'auto'}",
         tier_config=tier_config,
+        policies=(
+            _load_resilience(args.resilience)
+            if args.resilience is not None else None
+        ),
     )
     faults = None
     if args.faults is not None:
@@ -224,6 +250,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
     spec = load_scenario(args.config)
+    if args.no_resilience and spec.resilience is not None:
+        spec = dataclasses.replace(spec, resilience=None)
     result = run_scenario(
         spec, record=args.record,
         use_event_queue=not args.legacy_loop,
@@ -434,6 +462,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="when a lower-tier hit is promoted into GPU memory")
     fleet_parser.add_argument("--no-tier-prefetch", action="store_true",
                               help="disable router-hint prefetch into the routed replica")
+    fleet_parser.add_argument("--resilience", default=None, metavar="CONFIG",
+                              help="JSON file with resilience policies "
+                                   "(a \"resilience\" block; see "
+                                   "docs/RESILIENCE.md)")
     fleet_parser.add_argument("--faults", default=None, metavar="SCHEDULE",
                               help="inject a chaos schedule from this JSON file "
                                    "(a \"faults\" block; see docs/FAULTS.md)")
@@ -464,6 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="path to the scenario JSON config")
     scenario_run.add_argument("--record", default=None, metavar="TRACE",
                               help="record the request stream to this JSONL trace file")
+    scenario_run.add_argument("--no-resilience", action="store_true",
+                              help="ignore the config's \"resilience\" block "
+                                   "(for policy-on/off comparisons)")
     scenario_run.add_argument("--legacy-loop", action="store_true",
                               help="use the pre-heap event loop and cache scans "
                                    "(identical results, for comparison)")

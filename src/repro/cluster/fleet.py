@@ -43,11 +43,17 @@ from repro.kvcache.manager import CommitPolicy
 from repro.kvcache.tiers import ClusterPrefixStore, TierConfig, build_cluster_store
 from repro.model.config import ModelConfig, get_model
 from repro.obs.recorder import GLOBAL_KEY, NULL_RECORDER
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.policy import PolicyRuntime, HealthAwareRouter, TrackedRequest
 from repro.simulation.events import EventQueue
 from repro.simulation.routing import Router, UserIdRouter
 from repro.cluster.admission import AdmissionPolicy
 from repro.cluster.autoscaler import Autoscaler, ScaleEvent
 from repro.workloads.trace import Request
+
+#: Policy-timer slots multiplexed into one EventQueue: the timer key of a
+#: request is ``request_id * 4 + slot`` (base-4 keeps a spare slot).
+_TIMER_DEADLINE, _TIMER_HEDGE, _TIMER_RETRY = 0, 1, 2
 
 
 @dataclass(frozen=True)
@@ -130,6 +136,12 @@ class Fleet:
             fleet, its replicas, and their tier stores report span events to;
             None installs the no-op null recorder (the default, behaviour
             identical to a build without the subsystem).
+        policies: Optional :class:`~repro.resilience.ResilienceConfig` of
+            client-side failure policies — per-request deadlines, seeded
+            retry/backoff, hedged requests, circuit-breaker health routing,
+            and brownout-tier degradation (see ``docs/RESILIENCE.md``).
+            ``None`` or an inactive config is behaviour-identical to a build
+            without the subsystem.
     """
 
     def __init__(self, replica_specs: list[ReplicaSpec], model: ModelConfig, *,
@@ -142,7 +154,8 @@ class Fleet:
                  engine_fast_paths: bool = True,
                  tier_config: TierConfig | None = None,
                  cluster_service=None,
-                 recorder=None) -> None:
+                 recorder=None,
+                 policies: ResilienceConfig | None = None) -> None:
         if not replica_specs:
             raise ConfigurationError("a fleet needs at least one replica spec")
         self.name = name
@@ -212,9 +225,25 @@ class Fleet:
             index: index for index in range(len(self._active))
         }
         self._crash_times: dict[int, float] = {}
+        #: The resilience-policy runtime, or None (no policy overhead at all;
+        #: behaviour byte-identical to a build without the subsystem).
+        self.policies: PolicyRuntime | None = None
+        #: Terminal records of policy-cancelled requests (deadline misses,
+        #: exhausted retries) — merged into :meth:`rejected_requests`.
+        self._cancelled: list[FinishedRequest] = []
+        self._policy_events = EventQueue()
+        self._tracked: dict[int, TrackedRequest] = {}
+        if policies is not None and policies.active:
+            self.policies = PolicyRuntime(
+                policies,
+                on_breaker_transition=self._on_breaker_transition,
+                on_degrade_transition=self._on_degrade_transition,
+            )
         self.router: Router = (
             router if router is not None else UserIdRouter(len(self._active))
         )
+        if self.policies is not None and self.policies.breakers is not None:
+            self.router = HealthAwareRouter(self.router, self.policies.breakers)
         self.router.resize(len(self._active))
         self._sync_router()
         self.stats.peak_replicas = len(self._active)
@@ -386,6 +415,8 @@ class Fleet:
         self.obs.emit(now, GLOBAL_KEY, "submit", request=request.request_id)
         if self.autoscaler is not None:
             self.autoscaler.observe_arrival(now)
+        if self.policies is not None:
+            self._policy_on_submit(now)
         if not self._active:
             self._record_unserved(request, now, arrival_time=now)
             return None
@@ -403,6 +434,10 @@ class Fleet:
         Returns the target replica, or None when admission shed the request
         (the rejection record is kept, stamped with ``arrival_time``).
         """
+        if self.policies is not None and not self._policy_admit(
+                request, now, arrival_time=arrival_time,
+                shed_reason_prefix=shed_reason_prefix):
+            return None
         if self.admission is not None or self.router.needs_queue_depths:
             depths = self.queue_depths()
         else:
@@ -428,16 +463,25 @@ class Fleet:
     def _dispatch(self, request: Request, state: _ReplicaState, *,
                   enqueue_time: float, now: float) -> EngineInstance:
         """Hand a routed request to its replica and advance that replica."""
-        if self.tier_config is not None and self.tier_config.prefetch:
+        if (self.tier_config is not None and self.tier_config.prefetch
+                and not self._degraded()):
             # Router-hint prefetch: the routing decision is the hint that the
             # target replica is about to need this prefix — warm its L1 with
             # whatever continuation sits in the host/cluster tiers while the
-            # request is still queueing.
+            # request is still queueing.  Brownout tier >= 1 pauses this
+            # warming traffic (see docs/RESILIENCE.md).
             state.instance.kv.prefetch_tiers(
                 request.block_hashes(state.instance.spec.kv_block_size), now=now
             )
-        state.instance.submit(request, enqueue_time)
+        accepted = state.instance.submit(request, enqueue_time)
         self.stats.num_routed += 1
+        if self.policies is not None:
+            if accepted:
+                self._policy_track(request, state, now)
+            else:
+                # The engine wrote the terminal (MIL) rejection record;
+                # whatever policy state the request had is moot.
+                self._policy_abandon(request.request_id)
         self._observe(state.instance.advance_to(now))
         self._refresh_event(state)
         return state.instance
@@ -504,14 +548,26 @@ class Fleet:
                 finished.extend(state.instance.advance_to(now))
                 advanced += 1
         self.last_advance_count = advanced
-        self._observe(finished)
+        finished = self._observe(finished)
         self._retire_drained(now)
         return finished
 
-    def _observe(self, finished: list[FinishedRequest]) -> None:
+    def _observe(self, finished: list[FinishedRequest]) -> list[FinishedRequest]:
+        """Run completion hooks; returns the records that remain terminal.
+
+        With policies on, hedge-loser duplicates are filtered out (their
+        records are discarded so one request never double-counts) and
+        completions triggered by loser cancellation chain through the same
+        hooks.
+        """
+        if self.policies is not None and finished:
+            finished = [
+                record for record in finished if self._policy_finish(record)
+            ]
         if self.autoscaler is not None:
             for record in finished:
                 self.autoscaler.observe_completion(record)
+        return finished
 
     # ------------------------------------------------------------ autoscaling
 
@@ -628,6 +684,21 @@ class Fleet:
                 )
                 if kind == "outage":
                     self.resilience.num_outages += 1
+        elif kind == "spot_preempt":
+            applied, detail = self._fault_preempt_notice(event.replica, now)
+        elif kind == "spot_preempt-kill":
+            state = self._fault_state(event.replica)
+            if (state is None
+                    or (state not in self._active
+                        and state not in self._draining)):
+                # Finished draining before the warning expired: a clean exit,
+                # nothing left to kill.
+                applied, detail = False, "replica already drained"
+            else:
+                applied, detail = self._fault_crash(
+                    event.replica, now, allow_draining=True)
+                if applied:
+                    detail = f"preemption kill: {detail}"
         else:
             raise SimulationError(f"unknown fault event kind {kind!r}")
         if applied:
@@ -655,12 +726,40 @@ class Fleet:
         key = self._fault_targets.get(logical, logical)
         return self._states_by_key.get(key)
 
-    def _fault_crash(self, logical: int | None, now: float) -> tuple[bool, str]:
-        """Kill a replica: drop its caches, evacuate and re-route its work."""
+    def _fault_preempt_notice(self, logical: int | None,
+                              now: float) -> tuple[bool, str]:
+        """Spot-preemption warning: stop routing to the replica, let it drain.
+
+        The replica keeps executing its queue (like a scale-down drain); if
+        it empties before the paired ``spot_preempt-kill`` event fires the
+        exit is clean, otherwise the kill crashes it with whatever work is
+        left on board.
+        """
         state = self._fault_state(logical)
         if state is None or state not in self._active:
             return False, "replica not active"
         self._active.remove(state)
+        state.draining = True
+        self._draining.append(state)
+        if self._active:
+            self.router.resize(len(self._active))
+            self._sync_router()
+        self.resilience.num_preemptions += 1
+        self._retire_drained(now)
+        return True, "preemption notice: draining"
+
+    def _fault_crash(self, logical: int | None, now: float, *,
+                     allow_draining: bool = False) -> tuple[bool, str]:
+        """Kill a replica: drop its caches, evacuate and re-route its work."""
+        state = self._fault_state(logical)
+        if state is not None and state in self._active:
+            self._active.remove(state)
+            was_active = True
+        elif allow_draining and state is not None and state in self._draining:
+            self._draining.remove(state)
+            was_active = False
+        else:
+            return False, "replica not active"
         if self._events is not None:
             self._events.discard(state.key)
         state.crashed = True
@@ -673,17 +772,28 @@ class Fleet:
         lost_kv = state.instance.kv.num_cached_tokens
         if cache.offload_stats is not None:
             lost_kv += cache.offload_stats["current_blocks"] * state.instance.spec.kv_block_size
+        running_ids: set[int] = set()
+        if self.policies is not None:
+            running_ids = set(state.instance.running_request_ids())
         evacuated, in_flight, lost_work = state.instance.crash(now)
         self.resilience.num_crashes += 1
         self.resilience.lost_kv_tokens += lost_kv
         self.resilience.num_lost_in_flight += in_flight
         self.resilience.lost_work_tokens += lost_work
         self._crash_times[logical] = now
-        if self._active:
+        if was_active and self._active:
             self.router.resize(len(self._active))
             self._sync_router()
-        for request in evacuated:
-            self._resubmit(request, now)
+        if self.policies is not None:
+            if self.policies.breakers is not None:
+                self.policies.breakers.discard(state.key)
+            for request in evacuated:
+                self._policy_on_evacuated(request, crashed_key=state.key,
+                                          was_running=request.request_id in running_ids,
+                                          now=now)
+        else:
+            for request in evacuated:
+                self._resubmit(request, now)
         return True, (
             f"evacuated {len(evacuated)} request(s) "
             f"({in_flight} in flight), lost {lost_kv} cached token(s)"
@@ -774,9 +884,342 @@ class Fleet:
                                       arrival_time=request.arrival_time,
                                       shed_reason_prefix="retry shed: ")
         if state is None:
+            if self.policies is not None:
+                # The shed/unserved record is the request's terminal record.
+                self._policy_abandon(request.request_id)
             return None
         return self._dispatch(request, state,
                               enqueue_time=request.arrival_time, now=now)
+
+    # ------------------------------------------------------------- policies
+
+    def _degraded(self) -> bool:
+        """True while the degrade controller holds brownout tier >= 1."""
+        return (self.policies is not None
+                and self.policies.degrade is not None
+                and self.policies.degrade.tier >= 1)
+
+    def _policy_on_submit(self, now: float) -> None:
+        """Per-arrival policy upkeep: breaker clock + degrade pressure sample."""
+        policies = self.policies
+        if policies.breakers is not None:
+            policies.breakers.clock = now
+        if policies.degrade is not None and self._active:
+            pressure = sum(
+                state.instance.num_waiting for state in self._active
+            ) / len(self._active)
+            policies.degrade.observe(pressure, now)
+
+    def _policy_admit(self, request: Request, now: float, *,
+                      arrival_time: float, shed_reason_prefix: str) -> bool:
+        """Degrade-tier admission: shed low-priority tenants in tier 2."""
+        degrade = self.policies.degrade
+        if degrade is None or degrade.tier < 2:
+            return True
+        tenant = request.metadata.get("tenant")
+        if tenant not in degrade.policy.low_priority_tenants:
+            return True
+        reason = (
+            f"{shed_reason_prefix}degraded: low-priority tenant {tenant!r} shed"
+        )
+        self.resilience.num_degrade_sheds += 1
+        self.stats.num_shed += 1
+        self._shed.append(self._rejection_record(
+            request, arrival_time=arrival_time, now=now, reason=reason,
+        ))
+        self.obs.emit(now, GLOBAL_KEY, "shed", request=request.request_id,
+                      reason=reason)
+        self._policy_abandon(request.request_id)
+        return False
+
+    def _policy_track(self, request: Request, state: _ReplicaState,
+                      now: float) -> None:
+        """Start (or re-point) the policy bookkeeping of a dispatched request."""
+        policies = self.policies
+        rid = request.request_id
+        tracked = self._tracked.get(rid)
+        if tracked is None:
+            tracked = TrackedRequest(
+                request=request,
+                primary_key=state.key,
+                primary_name=state.instance.name,
+            )
+            self._tracked[rid] = tracked
+            if policies.deadline is not None:
+                self._policy_events.update(
+                    rid * 4 + _TIMER_DEADLINE,
+                    request.arrival_time + policies.deadline.timeout_s,
+                )
+        else:
+            tracked.primary_key = state.key
+            tracked.primary_name = state.instance.name
+            tracked.retry_pending = False
+        if policies.hedge is not None and tracked.hedge_key is None:
+            delay = policies.hedge_delay()
+            if delay is not None:
+                self._policy_events.update(rid * 4 + _TIMER_HEDGE, now + delay)
+
+    def _policy_cancel_timers(self, rid: int) -> None:
+        for slot in (_TIMER_DEADLINE, _TIMER_HEDGE, _TIMER_RETRY):
+            self._policy_events.discard(rid * 4 + slot)
+
+    def _policy_abandon(self, rid: int) -> None:
+        """Drop a request's policy state (a terminal record exists elsewhere)."""
+        self._policy_cancel_timers(rid)
+        self._tracked.pop(rid, None)
+
+    def _state_by_name(self, instance_name: str) -> _ReplicaState | None:
+        for state in self._all_states():
+            if state.instance.name == instance_name:
+                return state
+        return None
+
+    def _policy_finish(self, record: FinishedRequest) -> bool:
+        """Completion hook; False drops the record (a hedge-loser duplicate)."""
+        tracked = self._tracked.get(record.request_id)
+        if tracked is None:
+            return True
+        now = record.finish_time
+        policies = self.policies
+        if tracked.done:
+            # The hedge loser completed in the same event batch as the
+            # winner: too late to cancel, so unrecord it — one request, one
+            # completion — and bill the duplicate's full work as waste.
+            state = self._state_by_name(record.instance_name)
+            if state is not None:
+                state.instance.discard_finished(record.request_id)
+            self.resilience.hedge_wasted_tokens += record.num_tokens
+            self._tracked.pop(record.request_id, None)
+            return False
+        tracked.done = True
+        self._policy_cancel_timers(record.request_id)
+        winner_is_hedge = record.instance_name == tracked.hedge_name
+        if winner_is_hedge:
+            self.resilience.num_hedge_wins += 1
+        loser_key = tracked.primary_key if winner_is_hedge else tracked.hedge_key
+        loser_outstanding = False
+        if loser_key is not None:
+            loser_state = self._states_by_key.get(loser_key)
+            cancelled = None
+            if loser_state is not None:
+                cancelled = loser_state.instance.cancel(record.request_id, now)
+                if cancelled is not None:
+                    if cancelled == "running":
+                        # The duplicate burned real compute before losing.
+                        self.resilience.hedge_wasted_tokens += record.num_tokens
+                    # The freed stage can start queued work immediately;
+                    # chained completions flow through the same hooks.
+                    self._observe(loser_state.instance.advance_to(now))
+                    self._refresh_event(loser_state)
+            # cancel() returning None means the loser already completed —
+            # its record is later in this very batch; keep `tracked` so the
+            # done-branch above catches and discards it.
+            loser_outstanding = cancelled is None
+        if not loser_outstanding:
+            self._tracked.pop(record.request_id, None)
+        policies.record_latency(record.latency)
+        if policies.breakers is not None:
+            winner_key = (
+                tracked.hedge_key if winner_is_hedge else tracked.primary_key
+            )
+            if winner_key is not None:
+                policies.breakers.clock = now
+                policies.breakers.on_success(winner_key, record.latency, now)
+        return True
+
+    def next_policy_time(self) -> float | None:
+        """Earliest pending policy timer (deadline / hedge / retry), if any."""
+        if self.policies is None:
+            return None
+        return self._policy_events.next_time()
+
+    def apply_policy_timers(self, now: float) -> None:
+        """Fire every policy timer due at or before ``now``, in time order."""
+        if self.policies is None:
+            return
+        if self.policies.breakers is not None:
+            self.policies.breakers.clock = now
+        for key in self._policy_events.pop_due(now):
+            self._policy_events.discard(key)
+            rid, slot = key >> 2, key & 3
+            if slot == _TIMER_DEADLINE:
+                self._policy_deadline_fire(rid, now)
+            elif slot == _TIMER_HEDGE:
+                self._policy_hedge_fire(rid, now)
+            else:
+                self._policy_retry_fire(rid, now)
+
+    def _policy_deadline_fire(self, rid: int, now: float) -> None:
+        """Cancel every live copy of a request that exceeded its deadline."""
+        tracked = self._tracked.get(rid)
+        if tracked is None or tracked.done:
+            return
+        request = tracked.request
+        cancelled_any = False
+        for copy_key in (tracked.primary_key, tracked.hedge_key):
+            if copy_key is None:
+                continue
+            state = self._states_by_key.get(copy_key)
+            if state is None:
+                continue
+            where = state.instance.cancel(rid, now)
+            if where is not None:
+                cancelled_any = True
+                self._observe(state.instance.advance_to(now))
+                self._refresh_event(state)
+        if tracked.retry_pending:
+            # The request was waiting out a retry backoff: no live copy, but
+            # the pending re-execution is what the deadline cancels.
+            tracked.retry_pending = False
+            cancelled_any = True
+        if not cancelled_any:
+            # Completed concurrently; the finish path owns the cleanup.
+            return
+        tracked.done = True
+        self._policy_abandon(rid)
+        self.resilience.num_deadline_missed += 1
+        timeout = self.policies.deadline.timeout_s
+        self._cancelled.append(self._rejection_record(
+            request, arrival_time=request.arrival_time, now=now,
+            reason=f"deadline missed after {timeout:g}s",
+        ))
+        self.obs.emit(now, GLOBAL_KEY, "deadline_miss", request=rid,
+                      timeout_s=timeout)
+        if self.policies.breakers is not None:
+            self.policies.breakers.on_failure(tracked.primary_key, now)
+
+    def _policy_hedge_fire(self, rid: int, now: float) -> None:
+        """Duplicate a straggler onto the least-loaded other replica."""
+        tracked = self._tracked.get(rid)
+        if (tracked is None or tracked.done or tracked.retry_pending
+                or tracked.hedge_key is not None):
+            return
+        if len(self._active) < 2:
+            return
+        primary = self._states_by_key.get(tracked.primary_key)
+        if primary is None or not primary.instance.has_request(rid):
+            return
+        request = tracked.request
+        candidates = [
+            (state.instance.num_waiting, index)
+            for index, state in enumerate(self._active)
+            if state.key != tracked.primary_key
+            and request.num_tokens <= state.instance.max_input_length
+        ]
+        if not candidates:
+            return
+        target = self._active[min(candidates)[1]]
+        if not target.instance.submit(request, request.arrival_time):
+            return
+        tracked.hedge_key = target.key
+        tracked.hedge_name = target.instance.name
+        self.resilience.num_hedges += 1
+        self.obs.emit(now, target.key, "hedge", request=rid,
+                      replica=target.instance.name)
+        self._observe(target.instance.advance_to(now))
+        self._refresh_event(target)
+
+    def _policy_retry_fire(self, rid: int, now: float) -> None:
+        """Re-execute a crash-evacuated request after its backoff elapsed."""
+        tracked = self._tracked.get(rid)
+        if tracked is None or tracked.done or not tracked.retry_pending:
+            return
+        tracked.retry_pending = False
+        tracked.attempts += 1
+        if self._resubmit(tracked.request, now) is None:
+            # Shed or unserved at re-route; that record is terminal.
+            self._policy_abandon(rid)
+
+    def _policy_on_evacuated(self, request: Request, *, crashed_key: int,
+                             was_running: bool, now: float) -> None:
+        """Policy-aware crash evacuation of one request.
+
+        A surviving hedge copy absorbs the loss (nothing retries, and the
+        lost-work accounting is rolled back — the request's compute is still
+        in flight elsewhere, so hedging never inflates lost tokens);
+        otherwise the retry policy schedules a backoff re-execution, bounded
+        by per-request attempts and the per-tenant budget.
+        """
+        rid = request.request_id
+        tracked = self._tracked.get(rid)
+        policies = self.policies
+        if tracked is not None and not tracked.done:
+            if tracked.hedge_key == crashed_key:
+                tracked.hedge_key = None
+                tracked.hedge_name = None
+                if was_running:
+                    self.resilience.lost_work_tokens -= request.num_tokens
+                    self.resilience.num_lost_in_flight -= 1
+                return
+            if tracked.primary_key == crashed_key and tracked.hedge_key is not None:
+                tracked.primary_key = tracked.hedge_key
+                tracked.primary_name = tracked.hedge_name
+                tracked.hedge_key = None
+                tracked.hedge_name = None
+                if was_running:
+                    self.resilience.lost_work_tokens -= request.num_tokens
+                    self.resilience.num_lost_in_flight -= 1
+                return
+        if policies.retry is None:
+            self._resubmit(request, now)
+            return
+        attempts = tracked.attempts if tracked is not None else 1
+        tenant = request.metadata.get("tenant")
+        if attempts >= policies.retry.max_attempts:
+            self._policy_retry_exhausted(
+                request, now,
+                reason=f"retry attempts exhausted ({attempts} of "
+                       f"{policies.retry.max_attempts})",
+            )
+            return
+        if not policies.try_consume_retry_budget(tenant):
+            self._policy_retry_exhausted(
+                request, now,
+                reason=(
+                    f"tenant retry budget exhausted "
+                    f"({policies.retry.budget_per_tenant} for {tenant!r})"
+                ),
+            )
+            return
+        if tracked is None:
+            tracked = TrackedRequest(
+                request=request, primary_key=crashed_key, primary_name="",
+            )
+            self._tracked[rid] = tracked
+        tracked.retry_pending = True
+        self._policy_events.discard(rid * 4 + _TIMER_HEDGE)
+        delay = policies.retry_delay(rid, tracked.attempts)
+        self._policy_events.update(rid * 4 + _TIMER_RETRY, now + delay)
+
+    def _policy_retry_exhausted(self, request: Request, now: float, *,
+                                reason: str) -> None:
+        self.resilience.num_retry_exhausted += 1
+        self._policy_abandon(request.request_id)
+        self._cancelled.append(self._rejection_record(
+            request, arrival_time=request.arrival_time, now=now, reason=reason,
+        ))
+        self.obs.emit(now, GLOBAL_KEY, "shed", request=request.request_id,
+                      reason=reason)
+
+    def _on_breaker_transition(self, key: int, old: str, new: str,
+                               now: float) -> None:
+        if new == "open":
+            self.resilience.num_breaker_opens += 1
+        elif new == "closed":
+            self.resilience.num_breaker_closes += 1
+        state = self._states_by_key.get(key)
+        self.obs.emit(
+            now, key, "breaker",
+            replica=state.instance.name if state is not None else key,
+            **{"from": old, "to": new},
+        )
+
+    def _on_degrade_transition(self, old: int, new: int, now: float) -> None:
+        self.obs.emit(now, GLOBAL_KEY, "degrade", **{"from": old, "to": new})
+        if self.cluster_store is not None:
+            # Tier >= 1 pauses L3 publish traffic (demotions, drains); reads
+            # stay up — serving beats cache durability in a brownout.
+            self.cluster_store.set_publish_paused(new >= 1)
 
     def resilience_summary(self, summary):
         """Summarise fault/recovery accounting for the whole run.
@@ -805,6 +1248,11 @@ class Fleet:
                     cache.tier_stats["tokens_hit_host"]
                     + cache.tier_stats["tokens_hit_cluster"]
                 )
+        if self.policies is not None and self.policies.degrade is not None:
+            self.policies.degrade.finalize(summary.makespan)
+            self.resilience.degraded_seconds = (
+                self.policies.degrade.degraded_seconds
+            )
         return summarize_resilience(
             self.resilience,
             fault_log=tuple(self.fault_log),
@@ -813,6 +1261,7 @@ class Fleet:
             makespan=summary.makespan,
             warm_hit_tokens=warm_hit_tokens,
             warm_total_tokens=warm_total_tokens,
+            include_policy=self.policies is not None,
         )
 
     # -------------------------------------------------------------- results
@@ -825,11 +1274,12 @@ class Fleet:
         return records
 
     def rejected_requests(self) -> list[FinishedRequest]:
-        """Engine-level rejections plus admission-control sheds."""
+        """Engine rejections, admission sheds, and policy cancellations."""
         records: list[FinishedRequest] = []
         for state in self._all_states():
             records.extend(state.instance.rejected_requests)
         records.extend(self._shed)
+        records.extend(self._cancelled)
         return records
 
     def shed_requests(self) -> list[FinishedRequest]:

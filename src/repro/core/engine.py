@@ -581,6 +581,67 @@ class EngineInstance:
                 progressed = True
         return finished
 
+    def has_request(self, request_id: int) -> bool:
+        """Whether ``request_id`` is currently waiting or running here."""
+        if any(er.request_id == request_id for er in self._waiting):
+            return True
+        return any(
+            stage.job is not None
+            and stage.job.engine_request.request_id == request_id
+            for stage in self._stages
+        )
+
+    def running_request_ids(self) -> list[int]:
+        """Request ids currently occupying a pipeline stage."""
+        return [
+            stage.job.engine_request.request_id
+            for stage in self._stages
+            if stage.job is not None
+        ]
+
+    def cancel(self, request_id: int, now: float) -> str | None:
+        """Abort a waiting or in-flight request without a completion record.
+
+        The resilience layer's primitive for deadline cancellation and
+        hedge-loser cleanup.  A running job's lease aborts cleanly (nothing
+        commits, scratch frees) and the stage-busy time it will no longer
+        spend is rolled back, so a cancelled run is billed only for the work
+        actually performed.  The caller owns any terminal accounting record.
+
+        Returns ``"waiting"`` / ``"running"`` for where the request was
+        found, or ``None`` when it is not on this instance.
+        """
+        for engine_request in self._waiting:
+            if engine_request.request_id == request_id:
+                self._waiting.remove(engine_request)
+                engine_request.state = RequestState.REJECTED
+                return "waiting"
+        for stage in self._stages:
+            job = stage.job
+            if job is None or job.engine_request.request_id != request_id:
+                continue
+            if not job.stage_done:
+                stage.busy_time -= max(job.stage_finish_time - now, 0.0)
+            self.kv.finish_execution(job.lease, policy=CommitPolicy.NONE, now=now)
+            job.engine_request.state = RequestState.REJECTED
+            stage.job = None
+            # The caller advances the instance: the freed stage can admit
+            # queued work immediately, and completions must flow through the
+            # owner's observation hooks, not be dropped here.
+            return "running"
+        return None
+
+    def discard_finished(self, request_id: int) -> FinishedRequest | None:
+        """Drop and return the newest completion record for ``request_id``.
+
+        Used when a hedge duplicate completes in the same event batch as the
+        winner: the loser's record must not double-count the request.
+        """
+        for index in range(len(self._finished) - 1, -1, -1):
+            if self._finished[index].request_id == request_id:
+                return self._finished.pop(index)
+        return None
+
     def crash(self, now: float) -> tuple[list[Request], int, int]:
         """Kill the instance: drop all queued and in-flight work immediately.
 

@@ -218,6 +218,22 @@ class FaultScheduleError(SpecError, FaultError):
         super().__init__(message, path=path)
 
 
+class ResilienceError(ReproError):
+    """A resilience-policy configuration or operation is invalid."""
+
+
+class ResilienceSpecError(SpecError, ResilienceError):
+    """A resilience policy block is malformed (bad keys, times, or budgets).
+
+    Carries the spec layer's dotted JSON ``path`` of the offending value and
+    is catchable both as a :class:`SpecError` (uniform config handling) and
+    as a :class:`ResilienceError` (domain handling).
+    """
+
+    def __init__(self, message: str, *, path: str = "resilience") -> None:
+        super().__init__(message, path=path)
+
+
 class TierCapacityError(TierError):
     """A tier was configured with an invalid capacity.
 

@@ -2,7 +2,8 @@
 
 This package owns the *what* and *when* of failure — typed
 :class:`FaultEvent`\\ s (replica crash, recovery/rejoin, slow-node
-degradation, interconnect brownout, cluster-store outage) compiled into a
+degradation, interconnect brownout, cluster-store outage, spot preemption
+with a drain warning) compiled into a
 deterministic :class:`FaultSchedule` from a JSON ``"faults"`` block or from
 seeded exponential MTBF/MTTR processes.  The *how* lives where the state is:
 :meth:`repro.cluster.fleet.Fleet.apply_fault` executes the failure lifecycle

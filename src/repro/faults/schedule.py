@@ -25,7 +25,9 @@ Config block shape (JSON)::
          "multiplier": 2.5},             // service-time multiplier
         {"kind": "brownout", "at": 100.0, "duration": 50.0,
          "multiplier": 4.0},             // tier transfer-cost multiplier
-        {"kind": "outage",   "at": 300.0, "duration": 60.0}   // L3 store down
+        {"kind": "outage",   "at": 300.0, "duration": 60.0},  // L3 store down
+        {"kind": "spot_preempt", "replica": 3, "at": 400.0,
+         "warning_s": 30.0, "recover_at": 520.0}  // preemption with warning
       ],
       "generate": {                      // seeded crash/recover processes
         "mtbf_s": 300.0, "mttr_s": 45.0, "horizon_s": 900.0,
@@ -60,6 +62,7 @@ from repro.spec.models import (
     OutageEventSpec,
     RecoverEventSpec,
     SlowEventSpec,
+    SpotPreemptEventSpec,
 )
 
 __all__ = [
@@ -175,6 +178,17 @@ class ResilienceCounters:
     lost_kv_tokens: int = 0
     num_unserved: int = 0
     warm_restored_blocks: int = 0
+    num_preemptions: int = 0
+    # Resilience-policy outcomes (repro.resilience); all zero with policies off.
+    num_deadline_missed: int = 0
+    num_hedges: int = 0
+    num_hedge_wins: int = 0
+    hedge_wasted_tokens: int = 0
+    num_retry_exhausted: int = 0
+    num_breaker_opens: int = 0
+    num_breaker_closes: int = 0
+    num_degrade_sheds: int = 0
+    degraded_seconds: float = 0.0
     #: Crash-to-recover durations of every completed repair, in event order.
     mttr_samples: list[float] = field(default_factory=list)
 
@@ -207,6 +221,18 @@ def _compile_event(model) -> list[FaultEvent]:
             FaultEvent(time=model.at, kind="brownout", multiplier=model.multiplier),
             FaultEvent(time=model.at + model.duration, kind="brownout-end"),
         ]
+    if isinstance(model, SpotPreemptEventSpec):
+        events = [
+            FaultEvent(time=model.at, kind="spot_preempt", replica=model.replica),
+            FaultEvent(time=model.at + model.warning_s, kind="spot_preempt-kill",
+                       replica=model.replica),
+        ]
+        if model.recover_at is not None:
+            events.append(
+                FaultEvent(time=model.recover_at, kind="recover",
+                           replica=model.replica)
+            )
+        return events
     assert isinstance(model, OutageEventSpec)
     return [
         FaultEvent(time=model.at, kind="outage"),

@@ -82,6 +82,7 @@ class ClusterPrefixStore:
         self._publishes_by_replica: dict[str, int] = {}
         self._version = 0
         self._available = True
+        self._publish_paused = False
         #: Transfer-cost multiplier applied to every modelled transfer time.
         #: 1.0 (the default) is a bit-exact no-op; the fault subsystem raises
         #: it during interconnect brownouts.
@@ -141,6 +142,20 @@ class ClusterPrefixStore:
             self._available = bool(available)
             self._version += 1
 
+    @property
+    def publish_paused(self) -> bool:
+        """Whether writes are being refused by a resilience brownout tier."""
+        return self._publish_paused
+
+    def set_publish_paused(self, paused: bool) -> None:
+        """Pause / resume publish traffic (degraded-mode serving).
+
+        Unlike an outage, reads stay up — resident blocks remain fetchable —
+        and the store's contents and :attr:`version` are untouched; only new
+        writes are refused (and lost, like writes during an outage).
+        """
+        self._publish_paused = bool(paused)
+
     def __contains__(self, content_hash: int) -> bool:
         return self._available and content_hash in self._blocks
 
@@ -171,7 +186,7 @@ class ClusterPrefixStore:
         unavailable the write is refused: nothing is stored and the offered
         blocks are lost (the caller's demotion path counts them as drops).
         """
-        if not self._available:
+        if not self._available or self._publish_paused:
             return 0, 0.0
         stored = 0
         for content_hash in block_hashes:

@@ -187,5 +187,15 @@ class ShardStoreBus:
         self._store.set_available(available)
         self._stamp("availability", "", 0)
 
+    @property
+    def publish_paused(self) -> bool:
+        return self._store.publish_paused
+
+    def set_publish_paused(self, paused: bool) -> None:
+        # The degrade controller's brownout dial; like the outage toggle the
+        # transition itself is globally sequenced, so forwarding is enough.
+        self._store.set_publish_paused(paused)
+        self._stamp("availability", "", 0)
+
     def clear(self) -> None:
         self._store.clear()

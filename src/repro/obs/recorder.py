@@ -71,6 +71,10 @@ KIND_ORDER = {
     "shed": 11,
     "fault": 12,
     "scale": 13,
+    "deadline_miss": 14,
+    "hedge": 15,
+    "breaker": 16,
+    "degrade": 17,
 }
 
 #: Default request-latency histogram bucket upper edges (seconds).  A value
@@ -285,6 +289,20 @@ class TraceRecorder:
             self._inc("tier_peer_fetches_total", (), attrs.get("blocks", 1))
         elif kind == "warm_restore":
             self._inc("tier_warm_restored_blocks_total", (), attrs.get("blocks", 1))
+        elif kind == "deadline_miss":
+            self._inc("deadline_missed_total", (), 1)
+        elif kind == "hedge":
+            self._inc("hedges_total", (), 1)
+        elif kind == "breaker":
+            self._inc(
+                "breaker_transitions_total",
+                (("to", str(attrs.get("to", "unknown"))),), 1,
+            )
+        elif kind == "degrade":
+            self._inc(
+                "degrade_transitions_total",
+                (("tier", str(attrs.get("to", "unknown"))),), 1,
+            )
 
     def _observe(self, value: float) -> None:
         for index, edge in enumerate(self.config.latency_buckets):

@@ -260,6 +260,10 @@ class ResilienceSummary:
         goodput_ratio: Completed / offered requests — SLO-agnostic
             availability under failure.
         fault_log: One dict row per delivered fault event, in time order.
+        policy: Resilience-policy outcomes (deadline misses, hedge
+            wins/waste, breaker transitions, degraded-time fraction) when a
+            ``"resilience"`` block was active — ``None`` otherwise, keeping
+            policy-free summaries (and their golden fingerprints) unchanged.
     """
 
     num_faults: int
@@ -281,10 +285,11 @@ class ResilienceSummary:
     goodput_rps: float
     goodput_ratio: float
     fault_log: tuple[dict, ...] = ()
+    policy: dict | None = None
 
     def as_dict(self) -> dict:
         """Scalar view for report tables."""
-        return {
+        row = {
             "num_faults": self.num_faults,
             "num_crashes": self.num_crashes,
             "num_recoveries": self.num_recoveries,
@@ -299,12 +304,16 @@ class ResilienceSummary:
             "goodput_rps": round(self.goodput_rps, 3),
             "goodput_ratio": round(self.goodput_ratio, 3),
         }
+        if self.policy is not None:
+            row.update(self.policy)
+        return row
 
 
 def summarize_resilience(counters, *, fault_log: tuple[dict, ...] = (),
                          num_submitted: int = 0, num_finished: int = 0,
                          makespan: float = 0.0, warm_hit_tokens: int = 0,
-                         warm_total_tokens: int = 0) -> ResilienceSummary:
+                         warm_total_tokens: int = 0,
+                         include_policy: bool = False) -> ResilienceSummary:
     """Freeze a fleet's fault counters into a :class:`ResilienceSummary`.
 
     Args:
@@ -315,7 +324,26 @@ def summarize_resilience(counters, *, fault_log: tuple[dict, ...] = (),
             all-crashed run that finishes nothing).
         warm_hit_tokens / warm_total_tokens: Tier-served and total input
             tokens on the replicas fault recovery rebuilt.
+        include_policy: Freeze the resilience-*policy* outcome columns too
+            (a run with an active ``"resilience"`` block); the default keeps
+            policy-free summaries byte-identical to earlier builds.
     """
+    policy = None
+    if include_policy:
+        policy = {
+            "num_deadline_missed": counters.num_deadline_missed,
+            "num_hedges": counters.num_hedges,
+            "num_hedge_wins": counters.num_hedge_wins,
+            "hedge_wasted_tokens": counters.hedge_wasted_tokens,
+            "num_retry_exhausted": counters.num_retry_exhausted,
+            "num_breaker_opens": counters.num_breaker_opens,
+            "num_breaker_closes": counters.num_breaker_closes,
+            "num_preemptions": counters.num_preemptions,
+            "num_degrade_sheds": counters.num_degrade_sheds,
+            "degraded_time_fraction": round(
+                counters.degraded_seconds / makespan if makespan > 0 else 0.0, 4
+            ),
+        }
     return ResilienceSummary(
         num_faults=counters.num_faults_applied,
         num_faults_skipped=counters.num_faults_skipped,
@@ -340,6 +368,7 @@ def summarize_resilience(counters, *, fault_log: tuple[dict, ...] = (),
         goodput_rps=num_finished / makespan if makespan > 0 else 0.0,
         goodput_ratio=num_finished / num_submitted if num_submitted else 0.0,
         fault_log=tuple(fault_log),
+        policy=policy,
     )
 
 

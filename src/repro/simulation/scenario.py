@@ -72,6 +72,7 @@ from repro.kvcache.tiers.config import tier_config_from_model
 from repro.obs.logging import get_logger, set_context
 from repro.obs.recorder import DEFAULT_LATENCY_BUCKETS, ObsConfig, TraceRecorder
 from repro.perf.runner import ParallelRunner, resolve_runner
+from repro.resilience.config import ResilienceConfig, resilience_from_model
 from repro.simulation.arrival import make_arrival
 from repro.spec.core import from_dict, to_dict
 from repro.spec.models import ScenarioModel, TenantModel
@@ -136,6 +137,11 @@ class ScenarioSpec:
     #: false`` records nothing, with results byte-identical to a config that
     #: omits the block entirely.
     observability: ObsConfig | None = None
+    #: Resilience policies, parsed from the ``"resilience"`` config block
+    #: (see ``docs/RESILIENCE.md``).  None, ``enabled: false``, or a block
+    #: with no sub-policies changes nothing, with results byte-identical to a
+    #: config that omits the block entirely.
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -223,6 +229,11 @@ def scenario_from_model(model: ScenarioModel) -> ScenarioSpec:
                 else DEFAULT_LATENCY_BUCKETS
             ),
         )
+    resilience = None
+    if model.resilience is not None:
+        compiled = resilience_from_model(model.resilience)
+        if compiled.active:
+            resilience = compiled
     return ScenarioSpec(
         name=model.name,
         tenants=tenants,
@@ -239,6 +250,7 @@ def scenario_from_model(model: ScenarioModel) -> ScenarioSpec:
         shards=model.shards,
         lookahead=model.lookahead,
         observability=observability,
+        resilience=resilience,
     )
 
 
@@ -347,6 +359,7 @@ def _build_fleet(spec: ScenarioSpec, max_input_length: int, *,
         # latency-stamped message bus (transparent: results are identical).
         cluster_service=ShardStoreBus if spec.shards > 1 else None,
         recorder=recorder,
+        policies=spec.resilience,
     )
 
 
@@ -444,7 +457,9 @@ def run_scenario(spec: ScenarioSpec, *, record: str | Path | None = None,
         spec, max_input_length,
         use_event_queue=use_event_queue, engine_fast_paths=engine_fast_paths,
     )
-    chaos = spec.faults is not None and spec.faults.active
+    chaos = (spec.faults is not None and spec.faults.active) or (
+        spec.resilience is not None
+    )
     result = simulate_fleet(
         fleet, requests, faults=spec.faults,
         shards=spec.shards,

@@ -215,6 +215,7 @@ def fleet_is_decoupled(fleet, faults) -> bool:
         and fleet.tier_config is None
         and fleet.cluster_store is None
         and (faults is None or not faults.active)
+        and getattr(fleet, "policies", None) is None
         and not router.needs_queue_depths
         and not router.consults_instances
         and fleet.stats.num_submitted == 0

@@ -332,11 +332,14 @@ def simulate_fleet(fleet, requests: list[Request], *,
         next_internal = math.inf if next_internal is None else next_internal
         next_fault = fault_queue.next_time() if fault_queue is not None else None
         next_fault = math.inf if next_fault is None else next_fault
+        next_policy = fleet.next_policy_time()
+        next_policy = math.inf if next_policy is None else next_policy
 
-        if math.isinf(next_arrival) and math.isinf(next_internal) and math.isinf(next_fault):
+        if (math.isinf(next_arrival) and math.isinf(next_internal)
+                and math.isinf(next_fault) and math.isinf(next_policy)):
             break
 
-        now = min(next_arrival, next_internal, next_fault)
+        now = min(next_arrival, next_internal, next_fault, next_policy)
         if now > max_simulated_seconds:
             raise SimulationError(
                 f"fleet simulation exceeded {max_simulated_seconds} simulated seconds"
@@ -350,7 +353,8 @@ def simulate_fleet(fleet, requests: list[Request], *,
             if prof:
                 prof.add("sample", perf_counter() - tick)
 
-        if next_fault <= next_arrival and next_fault <= next_internal:
+        if (next_fault <= next_arrival and next_fault <= next_internal
+                and next_fault <= next_policy):
             tick = perf_counter() if prof else 0.0
             due = fault_queue.pop_due(now)
             for index in due:
@@ -359,6 +363,15 @@ def simulate_fleet(fleet, requests: list[Request], *,
             events += batch
             if prof:
                 prof.add("fault", perf_counter() - tick, batch)
+        elif next_policy <= next_arrival and next_policy <= next_internal:
+            # Policy timers beat arrivals and internal completions on ties:
+            # a request whose deadline coincides with its own finish counts
+            # as a deadline miss, deterministically.
+            tick = perf_counter() if prof else 0.0
+            fleet.apply_policy_timers(now)
+            events += 1
+            if prof:
+                prof.add("policy", perf_counter() - tick)
         elif next_arrival <= next_internal:
             tick = perf_counter() if prof else 0.0
             request = pending[arrival_index]
@@ -389,7 +402,9 @@ def simulate_fleet(fleet, requests: list[Request], *,
     summary = summarize_finished(finished, rejected)
     tier_summary = getattr(fleet, "tier_summary", lambda: None)()
     resilience = (
-        fleet.resilience_summary(summary) if fault_queue is not None else None
+        fleet.resilience_summary(summary)
+        if fault_queue is not None or fleet.policies is not None
+        else None
     )
     return FleetSimulationResult(
         fleet_name=fleet.name,

@@ -35,9 +35,13 @@ from hypothesis import strategies as st
 from repro.spec.core import FieldInfo, spec_fields
 from repro.spec.models import (
     AutoscaleSpec,
+    BreakerSpec,
+    DeadlineSpec,
     GenerateSpec,
+    HedgeSpec,
     KVTiersSpec,
     ObservabilitySpec,
+    RetrySpec,
 )
 
 __all__ = [
@@ -47,11 +51,17 @@ __all__ = [
     "autoscale_configs",
     "observability_configs",
     "fault_configs",
+    "spot_preempt_configs",
+    "degrade_configs",
+    "resilience_configs",
     "tenant_configs",
     "scenario_configs",
     "capacity_pair_configs",
     "admission_pair_configs",
     "interconnect_pair_configs",
+    "deadline_pair_configs",
+    "hedge_pair_configs",
+    "breaker_toggle_configs",
 ]
 
 #: Number of decimal places generated floats are rounded to — keeps failing
@@ -190,6 +200,8 @@ def fault_configs(draw, *, replicas: int):
             "at": draw(_bounded_floats(0.0, 20.0)),
             "duration": draw(_bounded_floats(1.0, 20.0)),
         })
+    if draw(st.booleans()):
+        events.append(draw(spot_preempt_configs(replicas=replicas)))
     config: dict = {"enabled": True, "events": events}
     if draw(st.booleans()):
         config["warm_restore_blocks"] = draw(st.integers(0, 128))
@@ -201,6 +213,72 @@ def fault_configs(draw, *, replicas: int):
             horizon_s=_bounded_floats(10.0, 60.0),
             replicas=None,  # inherit the scenario's replica count
         ))
+    return config
+
+
+@st.composite
+def spot_preempt_configs(draw, *, replicas: int):
+    """One valid spot-preemption event — ``recover_at`` strictly after the
+    kill at ``at + warning_s`` by construction."""
+    event: dict = {
+        "kind": "spot_preempt",
+        "replica": draw(st.integers(0, replicas - 1)),
+        "at": draw(_bounded_floats(0.0, 20.0)),
+        "warning_s": draw(_bounded_floats(0.5, 10.0)),
+    }
+    if draw(st.booleans()):
+        event["recover_at"] = round(
+            event["at"] + event["warning_s"] + draw(_bounded_floats(0.5, 20.0)),
+            _FLOAT_PLACES,
+        )
+    return event
+
+
+@st.composite
+def degrade_configs(draw, *, tenant_names: tuple = ()):
+    """Random valid ``"degrade"`` blocks — ``shed_depth_per_replica`` at or
+    above ``depth_per_replica`` by construction."""
+    config: dict = {"depth_per_replica": draw(_bounded_floats(1.0, 16.0))}
+    if draw(st.booleans()):
+        config["shed_depth_per_replica"] = round(
+            config["depth_per_replica"] + draw(_bounded_floats(0.0, 16.0)),
+            _FLOAT_PLACES,
+        )
+    if draw(st.booleans()):
+        config["sustain_s"] = draw(_bounded_floats(0.0, 10.0))
+    if draw(st.booleans()):
+        config["recover_s"] = draw(_bounded_floats(0.0, 10.0))
+    if tenant_names and draw(st.booleans()):
+        config["low_priority_tenants"] = draw(st.lists(
+            st.sampled_from(sorted(tenant_names)), min_size=1,
+            max_size=len(tenant_names), unique=True,
+        ))
+    return config
+
+
+@st.composite
+def resilience_configs(draw, *, tenant_names: tuple = ()):
+    """Random valid ``"resilience"`` blocks (always with at least one
+    sub-policy — an empty or disabled block is byte-identical to omission,
+    which the scenario composite covers by omitting the key)."""
+    config: dict = {}
+    if draw(st.booleans()):
+        config["seed"] = draw(st.integers(0, 2**16))
+    if draw(st.booleans()):
+        config["deadline"] = draw(model_strategy(
+            DeadlineSpec, timeout_s=_bounded_floats(2.0, 60.0),
+        ))
+    if draw(st.booleans()):
+        config["retry"] = draw(model_strategy(RetrySpec))
+    if draw(st.booleans()):
+        config["hedge"] = draw(model_strategy(HedgeSpec))
+    if draw(st.booleans()):
+        config["breaker"] = draw(model_strategy(BreakerSpec))
+    if draw(st.booleans()):
+        config["degrade"] = draw(degrade_configs(tenant_names=tenant_names))
+    if not any(key in config for key in
+               ("deadline", "retry", "hedge", "breaker", "degrade")):
+        config["deadline"] = {"timeout_s": draw(_bounded_floats(2.0, 60.0))}
     return config
 
 
@@ -307,6 +385,10 @@ def scenario_configs(draw):
         # Recording observes the run without changing it, so the fuzzer's
         # invariants must hold verbatim with the recorder switched on.
         config["observability"] = draw(observability_configs())
+    if draw(st.booleans()):
+        config["resilience"] = draw(resilience_configs(
+            tenant_names=tuple(t["name"] for t in config["tenants"]),
+        ))
     return config
 
 
@@ -421,3 +503,90 @@ def interconnect_pair_configs(draw):
                            "link": "nvlink"}},
     }
     return base, faster
+
+
+@st.composite
+def deadline_pair_configs(draw):
+    """``(base, longer)``: ``longer`` only extends the deadline.
+
+    Relation: a longer deadline never misses more deadlines.  Deadline-only
+    resilience on the user-id router (routing is a pure function of the
+    arrival sequence, so both sides route identically); no faults, no
+    autoscaler, no admission — a cancellation only ever *frees* capacity, so
+    the later cancellation instants of the longer side cannot make any
+    request later than it was on the base side.
+    """
+    base = draw(_metamorphic_base_configs(router="user-id", admission=False))
+    base["resilience"] = {
+        "deadline": {"timeout_s": draw(_bounded_floats(0.5, 10.0))},
+    }
+    longer = dict(base)
+    longer["resilience"] = {
+        "deadline": {"timeout_s": round(
+            base["resilience"]["deadline"]["timeout_s"]
+            + draw(_bounded_floats(0.5, 30.0)), _FLOAT_PLACES,
+        )},
+    }
+    return base, longer
+
+
+@st.composite
+def hedge_pair_configs(draw):
+    """``(base, hedged)``: ``hedged`` only adds first-completion-wins hedging.
+
+    Relation: hedging with loser cancellation never increases crash-lost
+    tokens.  The family keeps the relation exact by construction: every crash
+    lands strictly before the fixed hedge delay has elapsed (crashes at
+    t < 1.8, ``delay_s`` >= 2.0), so the two runs are identical through the
+    last loss event and any *excess* loss on the hedged side can only come
+    from hedge accounting itself — a cancelled loser or a surviving copy
+    billed as lost work.  Crashes landing *after* hedges are in flight move
+    other requests' completion times and can change which work a crash
+    catches in flight, so that regime is pinned by the deterministic
+    rollback tests in ``tests/test_resilience.py`` instead of a monotonic
+    relation here.
+    """
+    base = draw(_metamorphic_base_configs(router="user-id", admission=False))
+    replicas = max(base["replicas"], 2)
+    base["replicas"] = replicas
+    events = []
+    for _ in range(draw(st.integers(1, 2))):
+        at = draw(_bounded_floats(0.2, 1.8))
+        events.append({
+            "kind": "crash",
+            "replica": draw(st.integers(0, replicas - 1)),
+            "at": at,
+            "recover_at": round(at + draw(_bounded_floats(1.0, 10.0)),
+                                _FLOAT_PLACES),
+        })
+    base["faults"] = {"enabled": True, "events": events}
+    hedged = dict(base)
+    hedged["resilience"] = {"hedge": draw(model_strategy(
+        HedgeSpec,
+        delay_s=_bounded_floats(2.0, 6.0),
+        min_samples=st.integers(1, 4),
+    ))}
+    return base, hedged
+
+
+@st.composite
+def breaker_toggle_configs(draw):
+    """``(base, toggled)``: identical scenarios, ``toggled`` carrying a
+    ``"resilience"`` block that is present but inert (``enabled: false``, or
+    enabled with no sub-policies).
+
+    Relation: an inert block is byte-identical to omission — the
+    resilience-off contract the golden fingerprints pin for the cookbook,
+    fuzzed across the whole config family here.
+    """
+    base = draw(scenario_configs())
+    base.pop("resilience", None)
+    toggled = dict(base)
+    inert = draw(st.sampled_from(["disabled", "empty"]))
+    if inert == "disabled":
+        block = draw(resilience_configs())
+        block["enabled"] = False
+        toggled["resilience"] = block
+    else:
+        toggled["resilience"] = {"enabled": True}
+    return base, toggled

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.errors import (
     FaultScheduleError,
+    ResilienceSpecError,
     ScenarioSpecError,
     TierCapacityError,
     TierSpecError,
@@ -40,10 +41,17 @@ __all__ = [
     "SlowEventSpec",
     "BrownoutEventSpec",
     "OutageEventSpec",
+    "SpotPreemptEventSpec",
     "GenerateSpec",
     "FaultsSpec",
     "AutoscaleSpec",
     "ObservabilitySpec",
+    "DeadlineSpec",
+    "RetrySpec",
+    "HedgeSpec",
+    "BreakerSpec",
+    "DegradationSpec",
+    "ResilienceSpec",
     "TenantModel",
     "ScenarioModel",
     "parse_fault_event",
@@ -56,7 +64,7 @@ __all__ = [
 TIER_NAMES = ("host", "cluster")
 
 #: The fault kinds a ``"faults"`` block's ``events`` list may use.
-FAULT_KINDS = ("crash", "recover", "slow", "brownout", "outage")
+FAULT_KINDS = ("crash", "recover", "slow", "brownout", "outage", "spot_preempt")
 
 #: Promotion policy names (mirrors ``repro.kvcache.tiers.policy``; kept as a
 #: literal so the spec layer stays import-light — pinned against the registry
@@ -275,12 +283,57 @@ class OutageEventSpec:
     )
 
 
+@spec_model(error=FaultScheduleError, title="faults.events[] (spot_preempt)")
+@dataclass(frozen=True)
+class SpotPreemptEventSpec:
+    """Preempt a spot replica with warning: drain, then kill what remains.
+
+    Models a cloud provider reclaiming a preemptible instance.  At ``at`` the
+    replica stops taking traffic and starts draining (flushing hot prefixes
+    into the shared cluster store on the way out, like a scale-down); at
+    ``at + warning_s`` whatever has not drained is killed like a crash.  An
+    optional ``recover_at`` schedules a fresh replacement in the same logical
+    slot (spot capacity coming back).
+    """
+
+    kind: str = spec_field(default="spot_preempt", choices=("spot_preempt",),
+                           types=str, doc="Event kind discriminator.")
+    replica: int = spec_field(
+        types=int, minimum=0, fuzz=(0, 3),
+        doc="Logical replica id the preemption targets.",
+    )
+    at: float = spec_field(
+        types=(int, float), minimum=0, convert=float, fuzz=(0.0, 120.0),
+        doc="Simulated preemption-notice time (seconds).",
+    )
+    warning_s: float = spec_field(
+        default=30.0, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(1.0, 60.0),
+        doc="Grace period between the notice and the kill (seconds).",
+    )
+    recover_at: float | None = spec_field(
+        default=None, types=(int, float), minimum=0, convert=float,
+        fuzz=(0.001, 240.0),
+        doc="Optional replacement time; must be after ``at + warning_s``.",
+    )
+
+    def __spec_validate__(self, path: str) -> None:
+        if (self.recover_at is not None
+                and self.recover_at <= self.at + self.warning_s):
+            raise FaultScheduleError(
+                f"recover_at ({self.recover_at:g}) must be after the kill at "
+                f"at + warning_s ({self.at + self.warning_s:g})",
+                path=f"{path}.recover_at",
+            )
+
+
 _EVENT_MODELS = {
     "crash": CrashEventSpec,
     "recover": RecoverEventSpec,
     "slow": SlowEventSpec,
     "brownout": BrownoutEventSpec,
     "outage": OutageEventSpec,
+    "spot_preempt": SpotPreemptEventSpec,
 }
 
 
@@ -468,6 +521,210 @@ class ObservabilitySpec:
                 )
 
 
+# ----------------------------------------------------------------- resilience
+
+
+@spec_model(error=ResilienceSpecError, path="resilience.deadline",
+            title="resilience.deadline")
+@dataclass(frozen=True)
+class DeadlineSpec:
+    """Per-request deadlines: cancel work past ``arrival + timeout_s``."""
+
+    timeout_s: float = spec_field(
+        types=(int, float), minimum=0, exclusive_minimum=True, convert=float,
+        fuzz=(1.0, 120.0),
+        doc="Deadline measured from the request's arrival (seconds).",
+    )
+
+
+@spec_model(error=ResilienceSpecError, path="resilience.retry",
+            title="resilience.retry")
+@dataclass(frozen=True)
+class RetrySpec:
+    """Bounded retries with exponential backoff + seeded jitter."""
+
+    max_attempts: int = spec_field(
+        default=3, types=int, minimum=1, fuzz=(1, 4),
+        doc="Maximum re-executions of one request after crashes.",
+    )
+    budget_per_tenant: int | None = spec_field(
+        default=None, types=int, minimum=0, fuzz=(0, 64),
+        doc="Total retries a tenant may consume; omit for unlimited.",
+    )
+    backoff_base_s: float = spec_field(
+        default=0.5, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(0.05, 5.0),
+        doc="Backoff before the first retry (seconds).",
+    )
+    backoff_multiplier: float = spec_field(
+        default=2.0, types=(int, float), minimum=1, convert=float,
+        fuzz=(1.0, 4.0),
+        doc="Backoff growth factor per attempt.",
+    )
+    jitter: float = spec_field(
+        default=0.5, types=(int, float), minimum=0, convert=float,
+        fuzz=(0.0, 1.0),
+        doc="Jitter fraction: the delay is scaled by ``1 + jitter * u`` with "
+            "``u`` drawn from the request's seeded RNG stream.",
+    )
+
+
+@spec_model(error=ResilienceSpecError, path="resilience.hedge",
+            title="resilience.hedge")
+@dataclass(frozen=True)
+class HedgeSpec:
+    """Hedged requests: duplicate stragglers, first completion wins."""
+
+    delay_s: float | None = spec_field(
+        default=None, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(0.1, 30.0),
+        doc="Fixed hedge delay (seconds); omit to derive it from the "
+            "latency percentile below.",
+    )
+    percentile: float = spec_field(
+        default=95.0, types=(int, float), minimum=50, maximum=100,
+        convert=float, fuzz=(50.0, 99.0),
+        doc="Completed-latency percentile used as the hedge delay once "
+            "``min_samples`` completions exist.",
+    )
+    min_samples: int = spec_field(
+        default=20, types=int, minimum=1, fuzz=(1, 32),
+        doc="Completions needed before the percentile delay activates.",
+    )
+    min_delay_s: float = spec_field(
+        default=0.05, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(0.01, 2.0),
+        doc="Lower bound on the derived hedge delay (seconds).",
+    )
+
+
+@spec_model(error=ResilienceSpecError, path="resilience.breaker",
+            title="resilience.breaker")
+@dataclass(frozen=True)
+class BreakerSpec:
+    """Per-replica circuit breaker driving health-aware routing."""
+
+    window: int = spec_field(
+        default=20, types=int, minimum=1, fuzz=(4, 32),
+        doc="Trailing request outcomes tracked per replica.",
+    )
+    failure_ratio: float = spec_field(
+        default=0.5, types=(int, float), minimum=0, exclusive_minimum=True,
+        maximum=1.0, convert=float, fuzz=(0.2, 1.0),
+        doc="Windowed failure fraction that opens the breaker.",
+    )
+    min_samples: int = spec_field(
+        default=5, types=int, minimum=1, fuzz=(1, 8),
+        doc="Outcomes needed in the window before the breaker may trip.",
+    )
+    cooldown_s: float = spec_field(
+        default=30.0, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(1.0, 120.0),
+        doc="Open duration before the breaker half-opens (seconds).",
+    )
+    half_open_probes: int = spec_field(
+        default=2, types=int, minimum=1, fuzz=(1, 4),
+        doc="Probe requests a half-open replica may receive.",
+    )
+    slow_latency_s: float | None = spec_field(
+        default=None, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(0.5, 30.0),
+        doc="Completions slower than this count as failures; omit so only "
+            "deadline misses count.",
+    )
+
+
+@spec_model(error=ResilienceSpecError, path="resilience.degrade",
+            title="resilience.degrade")
+@dataclass(frozen=True)
+class DegradationSpec:
+    """Brownout tiers: shed background traffic under sustained pressure."""
+
+    depth_per_replica: float = spec_field(
+        types=(int, float), minimum=0, exclusive_minimum=True, convert=float,
+        fuzz=(1.0, 32.0),
+        doc="Mean waiting-queue depth per replica that enters brownout "
+            "tier 1 (prefetch and L3 publish traffic pause).",
+    )
+    shed_depth_per_replica: float | None = spec_field(
+        default=None, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(2.0, 64.0),
+        doc="Depth that enters tier 2 (low-priority tenants shed); omit to "
+            "never shed.",
+    )
+    sustain_s: float = spec_field(
+        default=10.0, types=(int, float), minimum=0, convert=float,
+        fuzz=(0.0, 30.0),
+        doc="How long pressure must persist before a tier engages (seconds).",
+    )
+    recover_s: float = spec_field(
+        default=10.0, types=(int, float), minimum=0, convert=float,
+        fuzz=(0.0, 30.0),
+        doc="How long pressure must stay low before a tier releases (seconds).",
+    )
+    low_priority_tenants: tuple = spec_field(
+        default=(), item_parser=lambda entry, path: _parse_tenant_name(entry, path),
+        item_normalizer=lambda entry, path: _parse_tenant_name(entry, path),
+        constraint_doc="array of tenant names",
+        doc="Tenants shed first in tier 2 (by scenario tenant name).",
+    )
+
+    def __spec_validate__(self, path: str) -> None:
+        if (self.shed_depth_per_replica is not None
+                and self.shed_depth_per_replica < self.depth_per_replica):
+            raise ResilienceSpecError(
+                f"shed_depth_per_replica ({self.shed_depth_per_replica:g}) must "
+                f"be >= depth_per_replica ({self.depth_per_replica:g})",
+                path=f"{path}.shed_depth_per_replica",
+            )
+
+
+def _parse_tenant_name(entry, path: str) -> str:
+    if not isinstance(entry, str) or not entry:
+        raise ResilienceSpecError(
+            f"tenant names must be non-empty strings, got {entry!r}", path=path
+        )
+    return entry
+
+
+@spec_model(error=ResilienceSpecError, path="resilience", title="resilience")
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """One ``"resilience"`` config block (see ``docs/RESILIENCE.md``)."""
+
+    version: int = spec_field(
+        default=1, types=int, doc="Config format version.",
+    )
+    enabled: bool = spec_field(
+        default=True, types=bool,
+        doc="Master switch; false applies nothing, byte-identical to omission.",
+    )
+    seed: int = spec_field(
+        default=0, types=int, minimum=0, fuzz=(0, 2**16),
+        doc="Base seed the per-request retry-jitter streams derive from.",
+    )
+    deadline: DeadlineSpec | None = spec_field(
+        default=None, model=DeadlineSpec,
+        doc="Optional per-request deadlines.",
+    )
+    retry: RetrySpec | None = spec_field(
+        default=None, model=RetrySpec,
+        doc="Optional seeded retry/backoff policy for crash-evacuated work.",
+    )
+    hedge: HedgeSpec | None = spec_field(
+        default=None, model=HedgeSpec,
+        doc="Optional hedged-request policy.",
+    )
+    breaker: BreakerSpec | None = spec_field(
+        default=None, model=BreakerSpec,
+        doc="Optional per-replica circuit breaker (health-aware routing).",
+    )
+    degrade: DegradationSpec | None = spec_field(
+        default=None, model=DegradationSpec,
+        doc="Optional degraded-mode (brownout-tier) controller.",
+    )
+
+
 @spec_model(error=ScenarioSpecError, path="tenants[]", title="tenants[]")
 @dataclass(frozen=True)
 class TenantModel:
@@ -589,6 +846,10 @@ class ScenarioModel:
         default=None, model=ObservabilitySpec,
         doc="Optional tracing & telemetry (see ``docs/OBSERVABILITY.md``).",
     )
+    resilience: ResilienceSpec | None = spec_field(
+        default=None, model=ResilienceSpec,
+        doc="Optional resilience policies (see ``docs/RESILIENCE.md``).",
+    )
 
 
 #: The models whose field tables ``docs/SPEC.md`` is generated from,
@@ -598,6 +859,12 @@ DOCUMENTED_MODELS = (
     TenantModel,
     AutoscaleSpec,
     ObservabilitySpec,
+    ResilienceSpec,
+    DeadlineSpec,
+    RetrySpec,
+    HedgeSpec,
+    BreakerSpec,
+    DegradationSpec,
     KVTiersSpec,
     HostTierSpec,
     ClusterTierSpec,
@@ -607,5 +874,6 @@ DOCUMENTED_MODELS = (
     SlowEventSpec,
     BrownoutEventSpec,
     OutageEventSpec,
+    SpotPreemptEventSpec,
     GenerateSpec,
 )

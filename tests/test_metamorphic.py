@@ -9,7 +9,13 @@ and checks the relation the knob's documentation promises:
 * a deeper admission queue never sheds more requests
   (:func:`admission_pair_configs`);
 * a faster tier interconnect never raises mean latency
-  (:func:`interconnect_pair_configs`).
+  (:func:`interconnect_pair_configs`);
+* a longer deadline never misses more deadlines
+  (:func:`deadline_pair_configs`);
+* hedging with loser cancellation never increases crash-lost tokens
+  (:func:`hedge_pair_configs`);
+* an inert ``"resilience"`` block is byte-identical to omitting it
+  (:func:`breaker_toggle_configs`).
 
 Unlike the invariant fuzzer (``test_scenario_fuzz.py``), which checks one
 run against itself, these are *differential* oracles: they catch sign errors
@@ -30,10 +36,14 @@ import os
 
 from hypothesis import HealthCheck, assume, given, note, settings
 
+from repro.simulation.invariants import scenario_fingerprint
 from repro.simulation.scenario import build_mix, run_scenario, scenario_from_dict
 from repro.spec.fuzz import (
     admission_pair_configs,
+    breaker_toggle_configs,
     capacity_pair_configs,
+    deadline_pair_configs,
+    hedge_pair_configs,
     interconnect_pair_configs,
 )
 
@@ -107,4 +117,52 @@ def test_faster_interconnect_never_raises_mean_latency(pair):
             <= base_result.summary.mean_latency), (
         f"mean latency rose from {base_result.summary.mean_latency:.6f}s to "
         f"{faster_result.summary.mean_latency:.6f}s on the faster link"
+    )
+
+
+@fuzz_settings
+@given(pair=deadline_pair_configs())
+def test_longer_deadline_never_misses_more(pair):
+    base, longer = pair
+    base_result, longer_result = _run_pair(base, longer)
+    base_missed = base_result.fleet.resilience.policy["num_deadline_missed"]
+    longer_missed = longer_result.fleet.resilience.policy["num_deadline_missed"]
+    assert longer_missed <= base_missed, (
+        f"deadline misses rose from {base_missed} to {longer_missed} after "
+        f"extending the deadline from "
+        f"{base['resilience']['deadline']['timeout_s']}s to "
+        f"{longer['resilience']['deadline']['timeout_s']}s"
+    )
+
+
+@fuzz_settings
+@given(pair=hedge_pair_configs())
+def test_hedging_never_increases_lost_tokens(pair):
+    base, hedged = pair
+    base_result, hedged_result = _run_pair(base, hedged)
+    base_lost = base_result.fleet.resilience.lost_work_tokens
+    hedged_lost = hedged_result.fleet.resilience.lost_work_tokens
+    assert hedged_lost <= base_lost, (
+        f"crash-lost tokens rose from {base_lost} to {hedged_lost} with "
+        f"hedging enabled — a cancelled or surviving hedge copy must never "
+        f"count as lost work"
+    )
+    assert hedged_result.fleet.resilience.lost_work_tokens >= 0
+    assert hedged_result.fleet.resilience.num_lost_in_flight >= 0
+
+
+@fuzz_settings
+@given(pair=breaker_toggle_configs())
+def test_inert_resilience_block_is_byte_identical_to_omission(pair):
+    base, toggled = pair
+    base_spec = scenario_from_dict(base)
+    assume(build_mix(base_spec).requests)
+    base_fp = json.dumps(scenario_fingerprint(run_scenario(base_spec)),
+                         sort_keys=True)
+    toggled_fp = json.dumps(
+        scenario_fingerprint(run_scenario(scenario_from_dict(toggled))),
+        sort_keys=True,
+    )
+    assert base_fp == toggled_fp, (
+        "an inert resilience block changed the simulation"
     )

@@ -30,11 +30,14 @@ from repro.faults.schedule import DEFAULT_WARM_RESTORE_BLOCKS
 from repro.kvcache.tiers.policy import PROMOTION_POLICIES
 from repro.spec.core import from_dict, normalize, spec_fields, to_dict
 from repro.spec.fuzz import (
+    degrade_configs,
     fault_configs,
     kv_tiers_configs,
     model_strategy,
     observability_configs,
+    resilience_configs,
     scenario_configs,
+    spot_preempt_configs,
     tenant_configs,
 )
 from repro.spec.models import (
@@ -44,18 +47,25 @@ from repro.spec.models import (
     PROMOTION_POLICY_NAMES,
     TIER_NAMES,
     AutoscaleSpec,
+    BreakerSpec,
     BrownoutEventSpec,
     ClusterTierSpec,
     CrashEventSpec,
+    DeadlineSpec,
+    DegradationSpec,
     FaultsSpec,
     GenerateSpec,
+    HedgeSpec,
     HostTierSpec,
     KVTiersSpec,
     ObservabilitySpec,
     OutageEventSpec,
     RecoverEventSpec,
+    ResilienceSpec,
+    RetrySpec,
     ScenarioModel,
     SlowEventSpec,
+    SpotPreemptEventSpec,
     TenantModel,
 )
 
@@ -93,10 +103,17 @@ MODEL_STRATEGIES = {
     SlowEventSpec: model_strategy(SlowEventSpec),
     BrownoutEventSpec: model_strategy(BrownoutEventSpec),
     OutageEventSpec: model_strategy(OutageEventSpec),
+    SpotPreemptEventSpec: spot_preempt_configs(replicas=4),
     GenerateSpec: model_strategy(GenerateSpec),
     FaultsSpec: fault_configs(replicas=4),
     AutoscaleSpec: model_strategy(AutoscaleSpec),
     ObservabilitySpec: observability_configs(),
+    DeadlineSpec: model_strategy(DeadlineSpec),
+    RetrySpec: model_strategy(RetrySpec),
+    HedgeSpec: model_strategy(HedgeSpec),
+    BreakerSpec: model_strategy(BreakerSpec),
+    DegradationSpec: degrade_configs(tenant_names=("tenant-a", "tenant-b")),
+    ResilienceSpec: resilience_configs(tenant_names=("tenant-a", "tenant-b")),
     TenantModel: tenant_configs(name="tenant-a"),
     ScenarioModel: scenario_configs(),
 }
