@@ -21,7 +21,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Worker processes for the parallel experiment runner targets.
 PERF_WORKERS ?= 4
 #: Committed baseline the perf target compares against (see docs/PERFORMANCE.md).
-PERF_BASELINE ?= BENCH_pr7.json
+PERF_BASELINE ?= BENCH_pr10.json
 
 .PHONY: test test-shard-identity test-resilience bench bench-paper bench-tiers bench-sweep perf fuzz obs-check docs-check examples scenarios scenarios-resilience
 
@@ -44,7 +44,8 @@ bench-sweep:
 	$(PYTHON) scripts/perf_report.py sweep --workers $(PERF_WORKERS) --min-speedup 2.0
 
 perf:
-	$(PYTHON) scripts/perf_report.py run --label pr --scale small --workers $(PERF_WORKERS)
+	$(PYTHON) scripts/perf_report.py run --label pr --scale small --workers $(PERF_WORKERS) \
+		--baseline $(PERF_BASELINE)
 	$(PYTHON) scripts/perf_report.py compare $(PERF_BASELINE) BENCH_pr.json \
 		--max-regression 0.20 --normalize
 

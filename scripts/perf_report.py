@@ -65,6 +65,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         out_dir=args.out,
         memo_comparison=not args.no_memo_comparison,
         parallel_check=not args.no_parallel_check,
+        baseline=args.baseline,
     )
     print(format_harness_report(report))
     return 0
@@ -97,10 +98,35 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"  {name:<16} {old_rate:>12.1f} -> {new_rate:>12.1f} events/s "
               f"({change:+.1%}) {marker}")
     if failures:
+        _print_phase_attribution(failures, new, baseline)
         logger.error("events/s regression in: %s", ", ".join(failures))
         return 1
     print("perf_report: no regression")
     return 0
+
+
+def _print_phase_attribution(failures: list, new: dict, baseline: dict) -> None:
+    """Name the hot-loop phase that grew in each regressed case.
+
+    Prefers the new file's recorded ``phase_deltas`` section (written by
+    ``run --baseline``); recomputes from the two files' per-case profiler
+    phases when absent.
+    """
+    from repro.obs.analysis import diff_bench_phases
+
+    deltas = (new.get("phase_deltas") or {}).get("cases")
+    if deltas is None:
+        deltas = diff_bench_phases(new, baseline)
+    for name in failures:
+        entry = deltas.get(name)
+        if entry is None or entry.get("top_regressed") is None:
+            print(f"  {name}: no profiled phase data to attribute")
+            continue
+        phase = entry["top_regressed"]
+        stats = entry["phases"][phase]
+        print(f"  {name}: phase {phase!r} grew from "
+              f"{stats['baseline_share']:.1%} to {stats['share']:.1%} of the "
+              f"hot loop")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -142,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", default=".")
     run_parser.add_argument("--no-memo-comparison", action="store_true")
     run_parser.add_argument("--no-parallel-check", action="store_true")
+    run_parser.add_argument("--baseline", default=None, metavar="BENCH_JSON",
+                            help="earlier BENCH file to compute the "
+                                 "phase_deltas section against")
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser("compare", help="fail on events/s regression")

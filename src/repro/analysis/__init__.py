@@ -17,7 +17,10 @@ from repro.analysis.sweep import (
     paper_qps_points,
 )
 from repro.analysis.reporting import (
+    format_alerts_report,
+    format_critical_path_report,
     format_fleet_report,
+    format_run_diff_report,
     format_series,
     format_table,
     format_tier_report,
@@ -40,5 +43,8 @@ __all__ = [
     "format_series",
     "format_fleet_report",
     "format_tier_report",
+    "format_critical_path_report",
+    "format_run_diff_report",
+    "format_alerts_report",
     "to_markdown_table",
 ]

@@ -241,3 +241,190 @@ def format_scenario_report(scenario_result) -> str:
     if scenario_result.trace_path is not None:
         sections.append(f"Trace recorded to {scenario_result.trace_path}")
     return "\n\n".join(sections)
+
+
+def format_critical_path_report(report, *, top: int = 5) -> str:
+    """Render a critical-path decomposition as plain-text tables.
+
+    Args:
+        report: A :class:`~repro.obs.analysis.CriticalPathReport` (duck-typed:
+            anything with its aggregation methods and counters works).
+        top: Exemplar count — the slowest finished requests, each with its
+            phase breakdown.
+
+    Returns:
+        A fleet headline, the fleet-wide phase table, per-tenant and
+        per-replica phase tables, and the top-``top`` exemplar table,
+        separated by blank lines.
+    """
+    sections = [
+        format_table([{
+            "finished": len(report.requests),
+            "shed": report.num_shed,
+            "deadline_missed": report.num_deadline_missed,
+            "mean_e2e_s": round(report.mean_e2e_s(), 4),
+            "p99_e2e_s": round(report.p99_e2e_s(), 4),
+            "throughput_rps": round(report.throughput_rps(), 4),
+        }], title="Critical path: fleet headline"),
+    ]
+    means = report.phase_means()
+    totals = report.phase_totals()
+    mean_e2e = report.mean_e2e_s()
+    sections.append(format_table(
+        [
+            {
+                "phase": phase,
+                "mean_s": round(means[phase], 4),
+                "total_s": round(totals[phase], 4),
+                "share": round(means[phase] / mean_e2e, 3) if mean_e2e else 0.0,
+            }
+            for phase in means
+        ],
+        title="Phase decomposition (mean per finished request)",
+    ))
+    for title, groups in [("Per-tenant phases (mean seconds)", report.by_tenant()),
+                          ("Per-replica phases (mean seconds)", report.by_replica())]:
+        rows = [
+            {"group": name, "finished": count,
+             **{phase: round(value, 4) for phase, value in phases.items()}}
+            for name, (count, phases) in groups.items()
+        ]
+        if rows:
+            sections.append(format_table(rows, title=title))
+    from repro.obs.analysis import top_exemplars
+
+    exemplar_rows = [
+        {
+            "request": exemplar.request_id,
+            "tenant": exemplar.tenant or "-",
+            "replica": exemplar.replica,
+            "e2e_s": round(exemplar.e2e_s, 4),
+            "retries": exemplar.num_retries,
+            "hedges": exemplar.num_hedges,
+            **{phase: round(value, 4)
+               for phase, value in exemplar.phases.items()},
+        }
+        for exemplar in top_exemplars(report, top)
+    ]
+    if exemplar_rows:
+        sections.append(format_table(
+            exemplar_rows, title=f"Top {len(exemplar_rows)} slowest exemplars"
+        ))
+    return "\n\n".join(sections)
+
+
+def format_run_diff_report(diff) -> str:
+    """Render a run diff as ranked "what changed" plain-text tables.
+
+    Args:
+        diff: A :class:`~repro.obs.analysis.RunDiff` (duck-typed: anything
+            with its ``headline`` / ``phases`` / ``replicas`` / ``kinds`` row
+            tuples and ``is_zero`` flag works).
+
+    Returns:
+        Headline metric deltas, then phase / replica / span-kind attribution
+        tables ranked largest mover first — or a single "no differences"
+        line when the recordings are identical.
+    """
+    if diff.is_zero:
+        return "runs are identical: zero delta in every tracked quantity"
+    sections = [
+        format_table(
+            [
+                {key: (round(value, 4) if isinstance(value, float) else value)
+                 for key, value in row.items()}
+                for row in diff.headline
+            ],
+            title="Run diff: headline (candidate - baseline)",
+        ),
+        format_table(
+            [
+                {key: (round(value, 4) if isinstance(value, float) else value)
+                 for key, value in row.items()}
+                for row in diff.phases
+            ],
+            title="Phase attribution (ranked by |delta|)",
+        ),
+    ]
+    if diff.replicas:
+        sections.append(format_table(
+            [
+                {key: (round(value, 4) if isinstance(value, float) else value)
+                 for key, value in row.items()}
+                for row in diff.replicas
+            ],
+            title="Replica attribution (ranked by |service delta|)",
+        ))
+    changed_kinds = [row for row in diff.kinds if row["delta"] != 0]
+    if changed_kinds:
+        sections.append(format_table(
+            changed_kinds, title="Span-kind count deltas"
+        ))
+    return "\n\n".join(sections)
+
+
+def format_alerts_report(report) -> str:
+    """Render a burn-rate alert evaluation as plain-text tables.
+
+    Args:
+        report: An :class:`~repro.obs.analysis.AlertReport` (duck-typed:
+            anything with its ``rules`` / ``events`` / ``budgets`` tuples and
+            ``firing_at_end()`` works).
+
+    Returns:
+        The evaluated rules, the firing/resolved transition log, end-of-run
+        error-budget rows, and a closing line naming any alert still firing.
+    """
+    sections = [
+        format_table(
+            [
+                {
+                    "rule": rule.name,
+                    "tenant": rule.tenant or "(all)",
+                    "objective": rule.objective,
+                    "long_window_s": rule.long_window_s,
+                    "short_window_s": rule.short_window_s,
+                    "burn_rate": rule.burn_rate,
+                    "severity": rule.severity,
+                }
+                for rule in report.rules
+            ],
+            title=f"Burn-rate rules (evaluated every {report.interval_s:g}s "
+                  f"of simulated time)",
+        ),
+    ]
+    if report.events:
+        sections.append(format_table(
+            [
+                {
+                    "time_s": event.time,
+                    "rule": event.rule,
+                    "tenant": event.tenant,
+                    "state": event.state,
+                    "severity": event.severity,
+                    "burn_long": round(event.burn_long, 2),
+                    "burn_short": round(event.burn_short, 2),
+                }
+                for event in report.events
+            ],
+            title="Alert transitions",
+        ))
+    else:
+        sections.append("no alert transitions: every window stayed under "
+                        "its burn-rate threshold")
+    if report.budgets:
+        sections.append(format_table(
+            [
+                {**row, "error_ratio": round(row["error_ratio"], 4),
+                 "budget_consumed": round(row["budget_consumed"], 2)}
+                for row in report.budgets
+            ],
+            title="End-of-run error budgets",
+        ))
+    firing = report.firing_at_end()
+    if firing:
+        names = ", ".join(f"{rule}[{tenant}]" for rule, tenant in firing)
+        sections.append(f"STILL FIRING at end of run: {names}")
+    else:
+        sections.append("all alerts resolved by end of run")
+    return "\n\n".join(sections)

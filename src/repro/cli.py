@@ -35,22 +35,39 @@ import sys
 from pathlib import Path
 
 from repro.analysis.mil import mil_table
-from repro.analysis.reporting import format_fleet_report, format_scenario_report, format_table
+from repro.analysis.reporting import (
+    format_alerts_report,
+    format_critical_path_report,
+    format_fleet_report,
+    format_run_diff_report,
+    format_scenario_report,
+    format_table,
+)
 from repro.analysis.sweep import compare_engines, paper_qps_points, base_throughput, qps_sweep
 from repro.baselines.registry import ENGINE_ORDER, all_engine_specs, get_engine_spec
 from repro.cluster import Fleet, QueueDepthAdmission, ReactiveAutoscaler
-from repro.errors import FaultScheduleError, ReproError, ResilienceError
+from repro.errors import FaultScheduleError, ObsError, ReproError, ResilienceError
 from repro.faults import fault_schedule_from_dict
 from repro.resilience import resilience_from_dict
 from repro.hardware.cluster import get_hardware_setup, list_hardware_setups, HARDWARE_SETUPS
 from repro.kvcache.tiers import PROMOTION_POLICIES, tier_config_from_dict
 from repro.model.config import MODEL_REGISTRY, get_model
+from repro.obs.analysis import (
+    DEFAULT_ALERT_RULES,
+    decompose_requests,
+    diff_bench_phases,
+    diff_runs,
+    evaluate_alerts,
+    top_exemplars,
+)
 from repro.obs.exporters import (
+    export_alerts,
     export_chrome_trace,
     export_prometheus,
     export_spans,
     format_obs_summary,
     format_slo_report,
+    parse_spans,
 )
 from repro.obs.logging import LOG_LEVELS, configure as configure_logging
 from repro.obs.logging import set_context as set_log_context
@@ -302,6 +319,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         out_dir=args.out,
         memo_comparison=not args.no_memo_comparison,
         parallel_check=not args.no_parallel_check,
+        baseline=args.baseline,
     )
     print(format_harness_report(report))
     return 0
@@ -368,6 +386,128 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
 
 def _cmd_obs_slo(args: argparse.Namespace) -> int:
     print(format_slo_report(_obs_data(args)))
+    return 0
+
+
+def _read_spans_text(path: str) -> str:
+    """Read a spans document from a file, ``-`` (stdin), or a ``.gz`` file."""
+    try:
+        if path == "-":
+            return sys.stdin.read()
+        if path.endswith(".gz"):
+            import gzip
+
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                return handle.read()
+        return Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ObsError(f"cannot read spans file {path!r} ({exc})") from None
+
+
+def _obs_input(args: argparse.Namespace):
+    """The recording to analyse: a ``--spans`` file, or a fresh run."""
+    if getattr(args, "spans", None):
+        return parse_spans(_read_spans_text(args.spans))
+    if args.config is None:
+        raise ObsError("either --config (run the scenario) or --spans "
+                       "(analyse a recording) is required")
+    return _obs_data(args)
+
+
+def _cmd_obs_critical_path(args: argparse.Namespace) -> int:
+    report = decompose_requests(_obs_input(args))
+    print(format_critical_path_report(report, top=args.top))
+    return 0
+
+
+def _cmd_obs_exemplars(args: argparse.Namespace) -> int:
+    report = decompose_requests(_obs_input(args))
+    rows = [
+        {
+            "request": exemplar.request_id,
+            "tenant": exemplar.tenant or "-",
+            "replica": exemplar.replica,
+            "e2e_s": round(exemplar.e2e_s, 4),
+            "retries": exemplar.num_retries,
+            "hedges": exemplar.num_hedges,
+            **{phase: round(value, 4)
+               for phase, value in exemplar.phases.items()},
+        }
+        for exemplar in top_exemplars(report, args.top)
+    ]
+    if not rows:
+        print("no finished requests to rank")
+        return 0
+    print(format_table(rows, title=f"Top {len(rows)} slowest exemplars"))
+    return 0
+
+
+def _load_diff_input(path: str):
+    """A diff operand: a ``repro-spans/v1`` file or a ``BENCH_*.json`` report."""
+    text = _read_spans_text(path)
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and "cases" in document:
+        return "bench", document
+    return "spans", parse_spans(text)
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    kind_a, baseline = _load_diff_input(args.baseline)
+    kind_b, candidate = _load_diff_input(args.candidate)
+    if kind_a != kind_b:
+        raise ObsError(
+            f"cannot diff a {kind_a} input against a {kind_b} input; pass "
+            f"two spans files or two BENCH_*.json reports"
+        )
+    if kind_a == "bench":
+        deltas = diff_bench_phases(candidate, baseline)
+        if not deltas:
+            print("no shared profiled cases between the two bench reports")
+            return 0
+        rows = [
+            {"case": case, "phase": phase, **stats}
+            for case, entry in sorted(deltas.items())
+            for phase, stats in entry["phases"].items()
+        ]
+        print(format_table(rows, title="Bench hot-loop phase shares "
+                                       "(candidate - baseline)"))
+        regressed = {
+            case: entry["top_regressed"]
+            for case, entry in sorted(deltas.items()) if entry["top_regressed"]
+        }
+        for case, phase in regressed.items():
+            print(f"{case}: largest share gain in phase {phase!r}")
+        if args.fail_on_delta and regressed:
+            return 1
+        return 0
+    diff = diff_runs(baseline, candidate)
+    print(format_run_diff_report(diff))
+    if args.fail_on_delta and not diff.is_zero:
+        return 1
+    return 0
+
+
+def _cmd_obs_alerts(args: argparse.Namespace) -> int:
+    spec = load_scenario(args.config)
+    slos = {
+        tenant.name: tenant.slo_latency_s for tenant in spec.tenants
+        if tenant.slo_latency_s is not None
+    }
+    rules = DEFAULT_ALERT_RULES
+    if spec.observability is not None and spec.observability.alerts:
+        rules = spec.observability.alerts
+    interval = args.sample_interval
+    if interval is None and spec.observability is not None:
+        interval = spec.observability.sample_interval_s
+    report = evaluate_alerts(_obs_input(args), rules, slos=slos,
+                             interval_s=interval)
+    print(format_alerts_report(report))
+    if args.out is not None:
+        Path(args.out).write_text(export_alerts(report), encoding="utf-8")
+        print(f"wrote repro-alerts/v1 export to {args.out}")
     return 0
 
 
@@ -548,6 +688,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="skip the memoization on/off measurement")
     perf_parser.add_argument("--no-parallel-check", action="store_true",
                              help="skip the parallel-vs-serial sweep cross-check")
+    perf_parser.add_argument("--baseline", default=None, metavar="BENCH_JSON",
+                             help="earlier BENCH_*.json to compute the "
+                                  "phase_deltas section against")
     perf_parser.set_defaults(func=_cmd_perf)
 
     obs_parser = subparsers.add_parser(
@@ -556,13 +699,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
 
-    def _add_obs_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--config", required=True,
+    def _add_obs_common(sub: argparse.ArgumentParser, *,
+                        config_required: bool = True) -> None:
+        sub.add_argument("--config", required=config_required,
                          help="path to the scenario JSON config (recording is "
                               "force-enabled; the run itself is unchanged)")
         sub.add_argument("--sample-interval", type=float, default=None,
                          help="override the metric sample interval "
                               "(simulated seconds)")
+
+    def _add_spans_input(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--spans", default=None, metavar="FILE",
+                         help="analyse a recorded repro-spans/v1 file instead "
+                              "of running the scenario ('-' reads stdin; "
+                              ".gz files are decompressed)")
 
     obs_export = obs_sub.add_parser(
         "export", help="run the scenario and export its recording"
@@ -588,6 +738,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_common(obs_slo)
     obs_slo.set_defaults(func=_cmd_obs_slo)
+
+    obs_critical = obs_sub.add_parser(
+        "critical-path",
+        help="decompose every request's latency into phases (queue, retry "
+             "wait, tier fetch, prefill, lost service) that sum to its "
+             "end-to-end latency",
+    )
+    _add_obs_common(obs_critical, config_required=False)
+    _add_spans_input(obs_critical)
+    obs_critical.add_argument("--top", type=int, default=5,
+                              help="slowest exemplar traces to include")
+    obs_critical.set_defaults(func=_cmd_obs_critical_path)
+
+    obs_exemplars = obs_sub.add_parser(
+        "exemplars",
+        help="print only the top-K slowest requests with their phase "
+             "breakdowns",
+    )
+    _add_obs_common(obs_exemplars, config_required=False)
+    _add_spans_input(obs_exemplars)
+    obs_exemplars.add_argument("--top", type=int, default=5,
+                               help="slowest exemplar traces to print")
+    obs_exemplars.set_defaults(func=_cmd_obs_exemplars)
+
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="attribute the delta between two recordings (or two "
+             "BENCH_*.json reports) to phases, replicas, and span kinds",
+    )
+    obs_diff.add_argument("baseline",
+                          help="baseline repro-spans/v1 file or BENCH_*.json "
+                               "('-' reads stdin; .gz files are decompressed)")
+    obs_diff.add_argument("candidate",
+                          help="candidate repro-spans/v1 file or BENCH_*.json")
+    obs_diff.add_argument("--fail-on-delta", action="store_true",
+                          help="exit 1 when any tracked quantity differs "
+                               "(CI guard for same-seed reproducibility)")
+    obs_diff.set_defaults(func=_cmd_obs_diff)
+
+    obs_alerts = obs_sub.add_parser(
+        "alerts",
+        help="evaluate multi-window burn-rate alert rules against the "
+             "tenants' latency SLOs, in simulated time",
+    )
+    _add_obs_common(obs_alerts)
+    _add_spans_input(obs_alerts)
+    obs_alerts.add_argument("--out", default=None, metavar="FILE",
+                            help="also write the repro-alerts/v1 JSONL export")
+    obs_alerts.set_defaults(func=_cmd_obs_alerts)
 
     from repro.spec.models import DOCUMENTED_MODELS
 

@@ -25,12 +25,31 @@ from repro.obs.recorder import (
 )
 from repro.obs.exporters import (
     SPANS_FORMAT,
+    ALERTS_FORMAT,
     export_spans,
     parse_spans,
+    export_alerts,
     export_chrome_trace,
     export_prometheus,
     format_obs_summary,
     format_slo_report,
+)
+from repro.obs.analysis import (
+    PHASES,
+    DEFAULT_ALERT_RULES,
+    AlertEvent,
+    AlertReport,
+    AlertRule,
+    CriticalPathReport,
+    RequestBreakdown,
+    RunDiff,
+    alert_rule_from_model,
+    critical_path_report,
+    decompose_requests,
+    diff_bench_phases,
+    diff_runs,
+    evaluate_alerts,
+    top_exemplars,
 )
 
 __all__ = [
@@ -43,10 +62,27 @@ __all__ = [
     "TraceRecorder",
     "merge_shard_payloads",
     "SPANS_FORMAT",
+    "ALERTS_FORMAT",
     "export_spans",
     "parse_spans",
+    "export_alerts",
     "export_chrome_trace",
     "export_prometheus",
     "format_obs_summary",
     "format_slo_report",
+    "PHASES",
+    "DEFAULT_ALERT_RULES",
+    "AlertEvent",
+    "AlertReport",
+    "AlertRule",
+    "CriticalPathReport",
+    "RequestBreakdown",
+    "RunDiff",
+    "alert_rule_from_model",
+    "critical_path_report",
+    "decompose_requests",
+    "diff_bench_phases",
+    "diff_runs",
+    "evaluate_alerts",
+    "top_exemplars",
 ]

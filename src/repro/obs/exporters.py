@@ -26,8 +26,10 @@ from repro.obs.recorder import GLOBAL_KEY, ObsData
 
 __all__ = [
     "SPANS_FORMAT",
+    "ALERTS_FORMAT",
     "export_spans",
     "parse_spans",
+    "export_alerts",
     "export_chrome_trace",
     "export_prometheus",
     "format_obs_summary",
@@ -36,6 +38,11 @@ __all__ = [
 
 #: Version tag of the JSONL span format (the header line's ``"format"``).
 SPANS_FORMAT = "repro-spans/v1"
+
+#: Version tag of the JSONL alert-event format (the header line's ``"format"``).
+#: Schema: ``schemas/repro-alerts.schema.json``; validated by
+#: ``scripts/obs_check.py`` in CI.
+ALERTS_FORMAT = "repro-alerts/v1"
 
 
 def _dumps(payload) -> str:
@@ -107,6 +114,49 @@ def parse_spans(text: str) -> ObsData:
         ),
         end_time=header.get("end_time", 0.0),
     )
+
+
+# ------------------------------------------------------------ repro-alerts/v1
+
+
+def export_alerts(report) -> str:
+    """Serialise an :class:`~repro.obs.analysis.AlertReport` as JSONL.
+
+    ``repro-alerts/v1``: one header line (format tag, evaluation interval,
+    the rules evaluated, end-of-run budget rows), then one firing/resolved
+    transition per line in ``(time, rule, tenant)`` order.  Canonical JSON
+    throughout, so the export is bit-reproducible.
+    """
+    lines = [_dumps({
+        "format": ALERTS_FORMAT,
+        "end_time": report.end_time,
+        "interval_s": report.interval_s,
+        "num_events": len(report.events),
+        "rules": [
+            {
+                "name": rule.name,
+                "objective": rule.objective,
+                "long_window_s": rule.long_window_s,
+                "short_window_s": rule.short_window_s,
+                "burn_rate": rule.burn_rate,
+                "severity": rule.severity,
+                "tenant": rule.tenant,
+            }
+            for rule in report.rules
+        ],
+        "budgets": list(report.budgets),
+    })]
+    for event in report.events:
+        lines.append(_dumps({
+            "time": event.time,
+            "rule": event.rule,
+            "tenant": event.tenant,
+            "state": event.state,
+            "severity": event.severity,
+            "burn_long": round(event.burn_long, 6),
+            "burn_short": round(event.burn_short, 6),
+        }))
+    return "\n".join(lines) + "\n"
 
 
 # ------------------------------------------------------------- Chrome traces

@@ -101,6 +101,11 @@ class ObsConfig:
     metrics: bool = True
     sample_interval_s: float = 1.0
     latency_buckets: tuple = DEFAULT_LATENCY_BUCKETS
+    #: Burn-rate alert rules (:class:`repro.obs.analysis.AlertRule`) for the
+    #: post-hoc ``prefillonly obs alerts`` evaluation.  The recorder itself
+    #: never reads them — alerting is a pure read-side analysis, so carrying
+    #: rules here cannot perturb a recording.
+    alerts: tuple = ()
 
 
 @dataclass(frozen=True)

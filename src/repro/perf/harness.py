@@ -509,12 +509,20 @@ def bench_path(label: str, out_dir: str | Path = ".") -> Path:
 def run_harness(label: str, *, scale: str = "small", workers: int = 4,
                 out_dir: str | Path = ".",
                 memo_comparison: bool = True,
-                parallel_check: bool = True) -> dict:
+                parallel_check: bool = True,
+                baseline: str | Path | None = None) -> dict:
     """Run the pinned suite plus cross-checks and write ``BENCH_<label>.json``.
 
     Returns the report dict (also written to disk).  The report carries no
     wall-clock timestamps — bench files diff cleanly — but does record the
     Python version and machine, since events/s is machine-relative.
+
+    When ``baseline`` names an earlier ``BENCH_*.json``, the report gains a
+    ``phase_deltas`` section — per shared case, each profiled phase's share
+    of hot-loop wall clock versus the baseline's
+    (:func:`repro.obs.analysis.diff_bench_phases`) — so an events/s
+    regression flagged by ``scripts/perf_report.py compare`` names the phase
+    that grew.
     """
     cases = run_suite(scale)
     report: dict = {
@@ -530,6 +538,16 @@ def run_harness(label: str, *, scale: str = "small", workers: int = 4,
         report["memoization"] = measure_memoization(scale)
     if parallel_check:
         report["parallel"] = measure_parallel(scale, workers=workers)
+    if baseline is not None:
+        from repro.obs.analysis import diff_bench_phases
+
+        baseline_report = json.loads(
+            Path(baseline).read_text(encoding="utf-8")
+        )
+        report["phase_deltas"] = {
+            "baseline": baseline_report.get("label", str(baseline)),
+            "cases": diff_bench_phases(report, baseline_report),
+        }
     path = bench_path(label, out_dir)
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     report["path"] = str(path)

@@ -69,6 +69,7 @@ from repro.faults import FaultSchedule, fault_schedule_from_model
 from repro.hardware.cluster import get_hardware_setup
 from repro.kvcache.tiers import ShardStoreBus, TierConfig
 from repro.kvcache.tiers.config import tier_config_from_model
+from repro.obs.analysis import alert_rule_from_model
 from repro.obs.logging import get_logger, set_context
 from repro.obs.recorder import DEFAULT_LATENCY_BUCKETS, ObsConfig, TraceRecorder
 from repro.perf.runner import ParallelRunner, resolve_runner
@@ -227,6 +228,9 @@ def scenario_from_model(model: ScenarioModel) -> ScenarioSpec:
             latency_buckets=(
                 tuple(obs_model.latency_buckets) if obs_model.latency_buckets
                 else DEFAULT_LATENCY_BUCKETS
+            ),
+            alerts=tuple(
+                alert_rule_from_model(rule) for rule in obs_model.alerts
             ),
         )
     resilience = None

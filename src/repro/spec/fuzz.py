@@ -34,6 +34,7 @@ from hypothesis import strategies as st
 
 from repro.spec.core import FieldInfo, spec_fields
 from repro.spec.models import (
+    AlertRuleSpec,
     AutoscaleSpec,
     BreakerSpec,
     DeadlineSpec,
@@ -49,6 +50,7 @@ __all__ = [
     "model_strategy",
     "kv_tiers_configs",
     "autoscale_configs",
+    "alert_rule_configs",
     "observability_configs",
     "fault_configs",
     "spot_preempt_configs",
@@ -148,6 +150,24 @@ def autoscale_configs():
     return model_strategy(AutoscaleSpec)
 
 
+def alert_rule_configs(*, name: str = "rule-0"):
+    """Random valid ``observability.alerts[]`` rules.
+
+    ``short_window_s < long_window_s`` holds by construction: the short
+    draw's ceiling (4) and the *default* short (6) both sit below the long
+    draw's floor (7), and the default long (30) sits above the short draw's
+    ceiling — so any appear/omit combination is valid.  No ``tenant`` pin —
+    tenant names aren't known at this level, and a tenant-less rule applies
+    to every SLO tenant.
+    """
+    return model_strategy(
+        AlertRuleSpec,
+        name=st.just(name),
+        long_window_s=_bounded_floats(7.0, 60.0),
+        short_window_s=_bounded_floats(0.5, 4.0),
+    )
+
+
 @st.composite
 def observability_configs(draw):
     """Random valid ``"observability"`` blocks (always enabled — a disabled
@@ -159,6 +179,11 @@ def observability_configs(draw):
         config["latency_buckets"] = sorted(draw(st.lists(
             _bounded_floats(0.05, 30.0), min_size=1, max_size=5, unique=True,
         )))
+    if draw(st.booleans()):
+        config["alerts"] = [
+            draw(alert_rule_configs(name=f"rule-{index}"))
+            for index in range(draw(st.integers(1, 2)))
+        ]
     return config
 
 

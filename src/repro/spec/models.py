@@ -46,6 +46,7 @@ __all__ = [
     "FaultsSpec",
     "AutoscaleSpec",
     "ObservabilitySpec",
+    "AlertRuleSpec",
     "DeadlineSpec",
     "RetrySpec",
     "HedgeSpec",
@@ -477,6 +478,75 @@ def _parse_latency_bucket(entry, path: str) -> float:
     return float(entry)
 
 
+@spec_model(error=ScenarioSpecError, path="observability.alerts[]",
+            title="observability.alerts[]")
+@dataclass(frozen=True)
+class AlertRuleSpec:
+    """One multi-window burn-rate alert rule under ``observability.alerts``.
+
+    Evaluated post-hoc by ``prefillonly obs alerts`` against the tenants'
+    latency SLOs (see "Analyzing traces" in ``docs/OBSERVABILITY.md``).
+    """
+
+    name: str = spec_field(
+        types=str, doc="Rule name (alert events and reports key on it).",
+    )
+    objective: float = spec_field(
+        default=0.99, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(0.5, 0.999),
+        constraint_doc="in (0, 1); the error budget is 1 - objective",
+        doc="SLO attainment objective the error budget derives from.",
+    )
+    long_window_s: float = spec_field(
+        default=30.0, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(5.0, 60.0),
+        doc="Long burn-rate window (simulated seconds).",
+    )
+    short_window_s: float = spec_field(
+        default=6.0, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(1.0, 5.0),
+        constraint_doc="positive, < long_window_s",
+        doc="Short confirmation window (simulated seconds).",
+    )
+    burn_rate: float = spec_field(
+        default=6.0, types=(int, float), minimum=0, exclusive_minimum=True,
+        convert=float, fuzz=(1.0, 20.0),
+        doc="Budget-consumption multiple both windows must reach to fire.",
+    )
+    severity: str = spec_field(
+        default="ticket", choices=("page", "ticket"),
+        doc="Alert severity label carried on emitted events.",
+    )
+    tenant: str | None = spec_field(
+        default=None, types=str,
+        doc="Restrict the rule to one tenant; omit for every SLO tenant.",
+    )
+
+    def __spec_validate__(self, path: str) -> None:
+        if not self.name:
+            raise ScenarioSpecError("alert rule name must be non-empty",
+                                    path=f"{path}.name")
+        if self.objective >= 1.0:
+            raise ScenarioSpecError(
+                f"objective must be < 1 (the error budget is 1 - objective), "
+                f"got {self.objective:g}", path=f"{path}.objective",
+            )
+        if self.short_window_s >= self.long_window_s:
+            raise ScenarioSpecError(
+                f"short_window_s ({self.short_window_s:g}) must be < "
+                f"long_window_s ({self.long_window_s:g})",
+                path=f"{path}.short_window_s",
+            )
+
+
+def _parse_alert_rule(entry, path: str) -> AlertRuleSpec:
+    return from_dict(AlertRuleSpec, entry, path=path)
+
+
+def _normalize_alert_rule(entry, path: str) -> dict:
+    return normalize(AlertRuleSpec, entry, path=path)
+
+
 @spec_model(error=ScenarioSpecError, path="observability", title="observability")
 @dataclass(frozen=True)
 class ObservabilitySpec:
@@ -508,6 +578,13 @@ class ObservabilitySpec:
         constraint_doc="strictly increasing positive numbers; empty uses "
                        "the default buckets",
         doc="Request-latency histogram bucket upper edges (seconds).",
+    )
+    alerts: tuple = spec_field(
+        default=(), item_parser=_parse_alert_rule,
+        item_normalizer=_normalize_alert_rule,
+        constraint_doc="array of alert rules; empty uses the built-in "
+                       "fast-burn/slow-burn pair",
+        doc="Burn-rate alert rules for ``prefillonly obs alerts``.",
     )
 
     def __spec_validate__(self, path: str) -> None:
@@ -859,6 +936,7 @@ DOCUMENTED_MODELS = (
     TenantModel,
     AutoscaleSpec,
     ObservabilitySpec,
+    AlertRuleSpec,
     ResilienceSpec,
     DeadlineSpec,
     RetrySpec,

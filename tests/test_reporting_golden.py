@@ -14,17 +14,28 @@ then review the diff of ``tests/golden/reports/`` like any other code change.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.reporting import (
+    format_alerts_report,
+    format_critical_path_report,
     format_fleet_report,
     format_resilience_report,
+    format_run_diff_report,
     format_scenario_report,
     format_tier_report,
 )
+from repro.obs.analysis import (
+    DEFAULT_ALERT_RULES,
+    decompose_requests,
+    diff_runs,
+    evaluate_alerts,
+)
+from repro.obs.recorder import ObsConfig
 from repro.simulation.scenario import load_scenario, run_scenario
 
 SCENARIOS = Path(__file__).parent.parent / "examples" / "scenarios"
@@ -38,6 +49,18 @@ def _scenario_result(stem: str):
     if stem not in _RESULTS:
         _RESULTS[stem] = run_scenario(load_scenario(SCENARIOS / f"{stem}.json"))
     return _RESULTS[stem]
+
+
+def _recorded(stem: str):
+    """A cached *recorded* run (observability forced on) of a cookbook scenario."""
+    key = f"obs:{stem}"
+    if key not in _RESULTS:
+        spec = dataclasses.replace(
+            load_scenario(SCENARIOS / f"{stem}.json"),
+            observability=ObsConfig(enabled=True),
+        )
+        _RESULTS[key] = run_scenario(spec)
+    return _RESULTS[key]
 
 
 def _check_golden(name: str, text: str) -> None:
@@ -89,4 +112,42 @@ def test_resilience_report_golden():
     _check_golden(
         "resilience_chaos_tiered_recovery",
         format_resilience_report(resilience) + "\n",
+    )
+
+
+def test_critical_path_report_golden():
+    """Critical-path decomposition of the chaos + tiers recording."""
+    data = _recorded("chaos_tiered_recovery").result.obs
+    report = decompose_requests(data)
+    _check_golden(
+        "critical_path_chaos_tiered_recovery",
+        format_critical_path_report(report) + "\n",
+    )
+
+
+def test_run_diff_report_golden():
+    """Run diff between two *different* cookbook recordings — every section
+    (headline, phases, replicas, span kinds) has non-zero rows to pin."""
+    diff = diff_runs(
+        _recorded("steady_poisson").result.obs,
+        _recorded("bursty_mix").result.obs,
+    )
+    _check_golden(
+        "run_diff_steady_vs_bursty", format_run_diff_report(diff) + "\n"
+    )
+
+
+def test_alerts_report_golden():
+    """Burn-rate alerts over the resilience cookbook scenario, default rules."""
+    result = _recorded("chaos_resilience_policies")
+    slos = {
+        tenant.name: tenant.slo_latency_s
+        for tenant in result.spec.tenants
+        if tenant.slo_latency_s is not None
+    }
+    report = evaluate_alerts(
+        result.result.obs, DEFAULT_ALERT_RULES, slos=slos
+    )
+    _check_golden(
+        "alerts_chaos_resilience_policies", format_alerts_report(report) + "\n"
     )

@@ -30,6 +30,7 @@ from repro.faults.schedule import DEFAULT_WARM_RESTORE_BLOCKS
 from repro.kvcache.tiers.policy import PROMOTION_POLICIES
 from repro.spec.core import from_dict, normalize, spec_fields, to_dict
 from repro.spec.fuzz import (
+    alert_rule_configs,
     degrade_configs,
     fault_configs,
     kv_tiers_configs,
@@ -46,6 +47,7 @@ from repro.spec.models import (
     FAULT_KINDS,
     PROMOTION_POLICY_NAMES,
     TIER_NAMES,
+    AlertRuleSpec,
     AutoscaleSpec,
     BreakerSpec,
     BrownoutEventSpec,
@@ -108,6 +110,7 @@ MODEL_STRATEGIES = {
     FaultsSpec: fault_configs(replicas=4),
     AutoscaleSpec: model_strategy(AutoscaleSpec),
     ObservabilitySpec: observability_configs(),
+    AlertRuleSpec: alert_rule_configs(),
     DeadlineSpec: model_strategy(DeadlineSpec),
     RetrySpec: model_strategy(RetrySpec),
     HedgeSpec: model_strategy(HedgeSpec),
